@@ -1,0 +1,52 @@
+"""Performance microbenches of the simulation substrate itself.
+
+These are classic pytest-benchmark measurements (multiple rounds) of the
+engine and executor hot paths — useful when extending the simulator, and a
+regression guard for the repo's own performance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import CollectiveRequest, CollectiveType
+from repro.core import SchedulerFactory, Splitter
+from repro.sim import EventQueue, NetworkSimulator
+from repro.topology import get_topology
+from repro.units import MB
+
+
+@pytest.mark.benchmark(group="engine")
+def test_event_queue_throughput(benchmark):
+    """Schedule + drain 10k events."""
+
+    def run():
+        engine = EventQueue()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(10_000):
+            engine.schedule(float(i), tick)
+        engine.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+@pytest.mark.benchmark(group="engine")
+def test_collective_simulation_throughput(benchmark):
+    """Full Themis+SCF simulation of a 64-chunk AR on a 3D topology."""
+    topology = get_topology("3D-SW_SW_SW_hetero")
+
+    def run():
+        sim = NetworkSimulator(
+            topology, SchedulerFactory("themis", splitter=Splitter(64))
+        )
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 100 * MB))
+        return sim.run()
+
+    result = benchmark(run)
+    assert len(result.records) == 64 * 6

@@ -1,0 +1,35 @@
+"""Bench: Fig. 11 — average BW utilization vs collective size.
+
+Paper means across all topologies and sizes: baseline 56.31%, Themis+FIFO
+87.67%, Themis+SCF 95.14%.  We assert each reproduction lands within ~6
+points of the paper's number and that utilization grows with size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_bw_utilization(benchmark, save_result):
+    result = benchmark.pedantic(run_fig11, kwargs={"quick": False},
+                                rounds=1, iterations=1)
+    save_result("fig11_bw_utilization", result.render())
+
+    baseline = result.mean_utilization("Baseline")
+    fifo = result.mean_utilization("Themis+FIFO")
+    scf = result.mean_utilization("Themis+SCF")
+    assert abs(baseline - 0.5631) < 0.06, f"baseline {baseline:.1%} vs paper 56.31%"
+    assert abs(fifo - 0.8767) < 0.06, f"Themis+FIFO {fifo:.1%} vs paper 87.67%"
+    assert abs(scf - 0.9514) < 0.06, f"Themis+SCF {scf:.1%} vs paper 95.14%"
+    assert baseline < fifo < scf
+
+    # Larger collectives are more BW-bound -> higher utilization (Sec. 6.1).
+    sizes = sorted({r.size for r in result.records})
+    small = [r.utilization for r in result.records
+             if r.size == sizes[0] and r.scheduler == "Themis+SCF"]
+    large = [r.utilization for r in result.records
+             if r.size == sizes[-1] and r.scheduler == "Themis+SCF"]
+    assert sum(large) / len(large) >= sum(small) / len(small)

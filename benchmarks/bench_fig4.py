@@ -1,0 +1,52 @@
+"""Bench: Fig. 4 — normalized runtime vs average BW utilization.
+
+For each workload/topology: the analytic runtime-vs-utilization curve, the
+Inf (pure compute) floor, and the bold dot where baseline scheduling
+actually lands.  Paper observations we assert:
+
+* the current 2D platform achieves ~97.7% utilization with the baseline
+  (its 12:1 BW gap hides dim2 underutilization);
+* next-gen topologies land far lower (paper: 59.7% average, 35.1% min);
+* at 100% utilization the next-gen platforms beat the current one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig4
+from repro.experiments.fig4 import FIG4_TOPOLOGIES
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_runtime_vs_utilization(benchmark, save_result):
+    result = benchmark.pedantic(run_fig4, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    save_result("fig4_runtime_vs_utilization", result.render())
+
+    workloads = sorted({w for w, _ in result.curves})
+    for workload in workloads:
+        current = result.curve(workload, "current-2D")
+        # Current platform: baseline is already near-optimal (paper 97.7%)
+        # for the pure data-parallel workloads; Transformer-1T's split
+        # MP/DP communicators land a little lower.
+        floor = 0.9 if workload != "Transformer-1T" else 0.7
+        assert current.baseline_utilization > floor
+
+        nextgen = [
+            result.curve(workload, topo)
+            for topo in FIG4_TOPOLOGIES
+            if topo != "current-2D"
+        ]
+        utils = [c.baseline_utilization for c in nextgen]
+        assert min(utils) < 0.45, "paper min is 35.1%"
+        assert sum(utils) / len(utils) < 0.75, "paper average is 59.7%"
+
+        # Monotonicity: more utilization -> lower runtime; Inf is the floor.
+        for curve in nextgen:
+            assert curve.runtime_at(0.1) > curve.runtime_at(0.5) > curve.ideal_runtime
+            assert curve.ideal_runtime > curve.inf_runtime
+
+        # At the Ideal, next-gen platforms outperform the current one.
+        best_nextgen = min(c.ideal_runtime for c in nextgen)
+        assert best_nextgen < current.ideal_runtime

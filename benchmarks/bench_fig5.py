@@ -1,0 +1,23 @@
+"""Bench: regenerate the Fig. 5 / Fig. 7 worked example.
+
+Asserts the paper's exact numbers: the baseline pipeline needs 8 units,
+Themis 7, and the Themis chunk orders follow Fig. 7's walk-through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_worked_example(benchmark, save_result):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    save_result("fig5_worked_example", result.render())
+    assert result.baseline_units == pytest.approx(8.0)
+    assert result.themis_units == pytest.approx(7.0)
+    assert result.themis_orders == [(0, 1), (1, 0), (0, 1), (0, 1)]
+    # Fig. 7 final loads: dim1 = 6.5 units, dim2 = 7 units.
+    assert result.load_evolution[-1][0] == pytest.approx(6.5)
+    assert result.load_evolution[-1][1] == pytest.approx(7.0)

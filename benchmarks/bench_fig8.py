@@ -1,0 +1,26 @@
+"""Bench: Fig. 8 — All-Reduce communication time across topologies/sizes.
+
+Paper: Themis+FIFO 1.58x and Themis+SCF 1.72x mean speedup over baseline
+(2.70x max).  We assert the reproduction lands in the right band: SCF mean
+speedup above 1.5x, max above 2.3x, and SCF never slower than Themis+FIFO
+on average.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_allreduce_time(benchmark, save_result):
+    result = benchmark.pedantic(run_fig8, kwargs={"quick": False},
+                                rounds=1, iterations=1)
+    save_result("fig8_allreduce_time", result.render())
+
+    scf_mean = result.mean_speedup("Themis+SCF")
+    fifo_mean = result.mean_speedup("Themis+FIFO")
+    assert scf_mean > 1.5, f"SCF mean speedup {scf_mean:.2f} (paper 1.72)"
+    assert result.max_speedup("Themis+SCF") > 2.3, "paper max is 2.70"
+    assert scf_mean >= fifo_mean, "SCF must not lose to FIFO on average"

@@ -1,0 +1,53 @@
+"""Bench: Table 2 — topology presets and their provisioning character.
+
+Regenerates the Table 2 rows from the preset builders and, per Sec. 6.3,
+reports which topologies the baseline could drive efficiently and which
+need Themis (all the over-provisioned ones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import assess, format_table, pct
+from repro.topology import get_topology, paper_topologies
+
+
+def build_table():
+    rows = []
+    for topology in paper_topologies():
+        report = assess(topology)
+        rows.append(
+            (
+                topology.name,
+                "x".join(str(p) for p in topology.shape),
+                ", ".join(f"{d.bandwidth_gbps:.0f}" for d in topology.dims),
+                ", ".join(f"{d.step_latency * 1e9:.0f}" for d in topology.dims),
+                report.max_utilization,
+                "yes" if report.baseline_efficient else "no",
+            )
+        )
+    return format_table(
+        ["name", "size", "Aggr BW/NPU (Gb/s)", "latency (ns)",
+         "drivable util", "baseline OK"],
+        rows,
+        [str, str, str, str, pct, str],
+    )
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_topologies(benchmark, save_result):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    save_result("table2_topologies", "Table 2: target topologies\n" + table)
+
+    for topology in paper_topologies():
+        assert topology.npus == 1024
+        report = assess(topology)
+        # None of the Table 2 systems is pathologically under-provisioned.
+        assert report.max_utilization > 0.97
+        # And none is fully drivable by the static baseline alone.
+        assert not report.baseline_efficient
+
+    # The current 2D platform is the contrast case: near-just-enough.
+    current = assess(get_topology("current-2D"))
+    assert current.max_utilization == pytest.approx(1.0, abs=1e-6)

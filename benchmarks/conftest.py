@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper table/figure.  Rendered result tables are
+written to ``benchmarks/results/`` so they can be inspected after a run
+(pytest captures stdout), and also printed for ``pytest -s`` runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered experiment table under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

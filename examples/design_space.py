@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""BW-distribution design-space exploration (the paper's Sec. 6.3).
+
+A network architect distributing bandwidth across a 16x8 2D platform must
+decide how much BW the second dimension gets relative to the first.  This
+example sweeps that ratio through the paper's three scenarios —
+under-provisioned, just-enough, and over-provisioned — and shows, for each
+point:
+
+* the baseline's achieved utilization (only perfect at just-enough),
+* Themis's achieved utilization (recovers the over-provisioned excess),
+* the LP fluid bound: the best *any* scheduler could do (under-provisioned
+  designs are capped below 100% — "such design points should be
+  prohibited").
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis import assess, format_table, pct
+from repro.collectives import CollectiveRequest, CollectiveType
+from repro.core import SchedulerFactory
+from repro.core.ideal import achievable_utilization
+from repro.sim import NetworkSimulator, bw_utilization
+from repro.topology import Topology, dimension
+from repro.units import parse_size
+
+SIZE = parse_size("1GB")
+#: dim2 aggregate BW as a fraction of dim1's. With P1 = 16, just-enough is
+#: exactly 1/16 = 0.0625 (BW(dim1) = P1 x BW(dim2), Sec. 3).
+DIM2_RATIOS = (0.02, 0.0625, 0.125, 0.25, 0.5, 1.0)
+
+
+def build(ratio: float) -> Topology:
+    return Topology(
+        [
+            dimension("sw", 16, 800.0, latency_ns=700, name="intra-node"),
+            dimension("sw", 8, 800.0 * ratio, latency_ns=1700, name="NIC"),
+        ],
+        name=f"16x8@{ratio:g}",
+    )
+
+
+def measured_utilization(topology: Topology, kind: str, policy: str) -> float:
+    sim = NetworkSimulator(topology, SchedulerFactory(kind), policy=policy)
+    sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, SIZE))
+    return bw_utilization(sim.run()).average
+
+
+def main() -> None:
+    rows = []
+    for ratio in DIM2_RATIOS:
+        topology = build(ratio)
+        report = assess(topology)
+        scenario = report.assessments[0].scenario.value
+        rows.append(
+            (
+                f"BW2 = {ratio:g} x BW1",
+                scenario,
+                measured_utilization(topology, "baseline", "FIFO"),
+                measured_utilization(topology, "themis", "SCF"),
+                achievable_utilization(CollectiveType.ALL_REDUCE, topology),
+            )
+        )
+    print("BW distribution sweep on a 16x8 platform (1GB All-Reduce):")
+    print(
+        format_table(
+            ["dim2 BW", "scenario", "baseline util", "Themis util", "LP bound"],
+            rows,
+            [str, str, pct, pct, pct],
+        )
+    )
+    print()
+    print("Reading the table:")
+    print("  - under-provisioned (ratio > 1/P1 inverted): even the LP bound")
+    print("    stays below 100% -> prohibited design points;")
+    print("  - just-enough (ratio = 1/16): baseline is already efficient;")
+    print("  - over-provisioned (ratio > 1/16): baseline strands dim2 BW,")
+    print("    Themis recovers it and tracks the LP bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a 1 GB All-Reduce with baseline vs Themis.
+
+Builds the paper's 3D-SW_SW_SW_homo platform (1024 NPUs, 16x8x8, 800 Gb/s
+per dimension), runs a single large All-Reduce under the baseline
+hierarchical schedule and under Themis (+SCF), and reports communication
+time, per-dimension bandwidth utilization, and the distance to the
+100%-utilization Ideal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CollectiveRequest,
+    CollectiveType,
+    IdealEstimator,
+    NetworkSimulator,
+    SchedulerFactory,
+    bw_utilization,
+    fmt_time,
+    get_topology,
+    parse_size,
+)
+
+SIZE = parse_size("1GB")
+
+
+def run_one(topology, scheduler_kind: str, policy: str):
+    """Simulate one All-Reduce and return its execution result."""
+    sim = NetworkSimulator(
+        topology, SchedulerFactory(scheduler_kind), policy=policy
+    )
+    sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, SIZE))
+    return sim.run()
+
+
+def main() -> None:
+    topology = get_topology("3D-SW_SW_SW_homo")
+    print(topology.describe())
+    print()
+
+    baseline = run_one(topology, "baseline", "FIFO")
+    themis = run_one(topology, "themis", "SCF")
+    ideal = IdealEstimator().collective_time(
+        CollectiveType.ALL_REDUCE, SIZE, topology
+    )
+
+    print(f"1GB All-Reduce, 64 chunks:")
+    print(
+        f"  Baseline   : {fmt_time(baseline.makespan):>10}   "
+        f"{bw_utilization(baseline).describe(topology)}"
+    )
+    print(
+        f"  Themis+SCF : {fmt_time(themis.makespan):>10}   "
+        f"{bw_utilization(themis).describe(topology)}"
+    )
+    print(f"  Ideal      : {fmt_time(ideal):>10}   (100% of every dimension)")
+    print()
+    print(f"Themis speedup over baseline: {baseline.makespan / themis.makespan:.2f}x")
+    print(f"Themis distance from Ideal:   {themis.makespan / ideal:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

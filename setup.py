@@ -1,0 +1,9 @@
+"""Thin setup.py shim.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments whose setuptools predates PEP 660 (no `wheel` package).
+"""
+
+from setuptools import setup
+
+setup()

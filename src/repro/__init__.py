@@ -1,0 +1,139 @@
+"""repro — a reproduction of Themis (ISCA 2022).
+
+Themis is a network-bandwidth-aware collective scheduling policy for
+distributed training on multi-dimensional NPU networks.  This package
+provides:
+
+* ``repro.topology`` — multi-dimensional network models (Table 2 presets),
+* ``repro.collectives`` — per-dimension collective algorithm cost models,
+* ``repro.core`` — the Themis scheduler, baseline, and ideal references,
+* ``repro.sim`` — the discrete-event network simulator,
+* ``repro.workloads`` / ``repro.training`` — DNN workload models and the
+  end-to-end training-iteration simulator,
+* ``repro.analysis`` — utilization metrics and BW-provisioning insights,
+* ``repro.experiments`` — harnesses regenerating every paper figure/table.
+
+Quickstart::
+
+    from repro import (
+        CollectiveRequest, CollectiveType, NetworkSimulator,
+        SchedulerFactory, bw_utilization, get_topology, parse_size,
+    )
+
+    topo = get_topology("3D-SW_SW_SW_homo")
+    sim = NetworkSimulator(topo, SchedulerFactory("themis"), policy="SCF")
+    sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, parse_size("1GB")))
+    result = sim.run()
+    print(result.makespan, bw_utilization(result).average)
+"""
+
+from .collectives import (
+    CollectiveRequest,
+    CollectiveType,
+    PhaseOp,
+    SwitchOffloadAlgorithm,
+    invariant_bytes_per_npu,
+    offload_overrides,
+)
+from .core import (
+    BaselineScheduler,
+    DimLoadTracker,
+    ExhaustiveScheduler,
+    IdealEstimator,
+    LatencyModel,
+    LpIdealEstimator,
+    SchedulerFactory,
+    Splitter,
+    ThemisScheduler,
+    achievable_utilization,
+)
+from .errors import (
+    CollectiveError,
+    ConfigError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from .sim import (
+    EventQueue,
+    ExecutionResult,
+    FusionConfig,
+    IdealNetwork,
+    NetworkSimulator,
+    bw_utilization,
+    render_gantt,
+)
+from .topology import (
+    DimensionKind,
+    DimensionSpec,
+    Topology,
+    dimension,
+    get_topology,
+    load_topology,
+    paper_topologies,
+    preset_names,
+    save_topology,
+)
+from .units import GB, GBPS, KB, MB, US, fmt_size, fmt_time, gbps, parse_size
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # collectives
+    "CollectiveRequest",
+    "CollectiveType",
+    "PhaseOp",
+    "invariant_bytes_per_npu",
+    "SwitchOffloadAlgorithm",
+    "offload_overrides",
+    # core
+    "BaselineScheduler",
+    "ThemisScheduler",
+    "SchedulerFactory",
+    "Splitter",
+    "DimLoadTracker",
+    "LatencyModel",
+    "IdealEstimator",
+    "LpIdealEstimator",
+    "achievable_utilization",
+    "ExhaustiveScheduler",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TopologyError",
+    "CollectiveError",
+    "ScheduleError",
+    "SimulationError",
+    "WorkloadError",
+    # sim
+    "EventQueue",
+    "NetworkSimulator",
+    "IdealNetwork",
+    "ExecutionResult",
+    "FusionConfig",
+    "bw_utilization",
+    "render_gantt",
+    # topology
+    "Topology",
+    "DimensionKind",
+    "DimensionSpec",
+    "dimension",
+    "get_topology",
+    "paper_topologies",
+    "preset_names",
+    "load_topology",
+    "save_topology",
+    # units
+    "KB",
+    "MB",
+    "GB",
+    "GBPS",
+    "US",
+    "gbps",
+    "parse_size",
+    "fmt_size",
+    "fmt_time",
+]

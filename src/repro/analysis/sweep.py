@@ -1,0 +1,122 @@
+"""Microbenchmark sweep harness shared by the Fig. 8-11 experiments.
+
+Runs a single collective through the network simulator for each
+(scheduler, policy, size, chunk-count, topology) combination and returns
+comparable records: communication time and average BW utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.types import CollectiveRequest, CollectiveType
+from ..core.ideal import IdealEstimator
+from ..core.scheduler import SchedulerFactory
+from ..core.splitter import Splitter
+from ..sim.executor import FusionConfig
+from ..sim.network import ExecutionResult, NetworkSimulator
+from ..sim.stats import bw_utilization
+from ..topology import Topology
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """One Table 3 row: a scheduler kind plus its intra-dimension policy."""
+
+    kind: str  # "baseline" | "themis"
+    policy: str  # "FIFO" | "SCF" | ...
+
+    @property
+    def label(self) -> str:
+        if self.kind == "baseline":
+            return "Baseline"
+        return f"Themis+{self.policy.upper()}"
+
+
+#: The paper's three simulated configurations (Table 3; Ideal is analytic).
+PAPER_SCHEDULERS: tuple[SchedulerConfig, ...] = (
+    SchedulerConfig("baseline", "FIFO"),
+    SchedulerConfig("themis", "FIFO"),
+    SchedulerConfig("themis", "SCF"),
+)
+
+
+@dataclass(frozen=True)
+class MicrobenchRecord:
+    """One simulated collective's headline numbers."""
+
+    topology_name: str
+    scheduler: str
+    ctype: CollectiveType
+    size: float
+    chunks: int
+    comm_time: float
+    utilization: float
+    ideal_time: float
+
+    @property
+    def speedup_potential(self) -> float:
+        """How far from the 100%-utilization Ideal this run landed."""
+        return self.comm_time / self.ideal_time
+
+
+def run_collective(
+    topology: Topology,
+    config: SchedulerConfig,
+    size: float,
+    ctype: CollectiveType = CollectiveType.ALL_REDUCE,
+    chunks: int = 64,
+    fusion: FusionConfig | None = None,
+) -> tuple[MicrobenchRecord, ExecutionResult]:
+    """Simulate one collective and package the comparable numbers."""
+    sim = NetworkSimulator(
+        topology,
+        SchedulerFactory(config.kind, splitter=Splitter(chunks)),
+        policy=config.policy,
+        fusion=fusion or FusionConfig(),
+    )
+    sim.submit(CollectiveRequest(ctype, size))
+    result = sim.run()
+    record = MicrobenchRecord(
+        topology_name=topology.name,
+        scheduler=config.label,
+        ctype=ctype,
+        size=size,
+        chunks=chunks,
+        comm_time=result.makespan,
+        utilization=bw_utilization(result).average,
+        ideal_time=IdealEstimator().collective_time(ctype, size, topology),
+    )
+    return record, result
+
+
+def sweep(
+    topologies: list[Topology],
+    sizes: list[float],
+    configs: tuple[SchedulerConfig, ...] = PAPER_SCHEDULERS,
+    ctype: CollectiveType = CollectiveType.ALL_REDUCE,
+    chunks: int = 64,
+    fusion: FusionConfig | None = None,
+) -> list[MicrobenchRecord]:
+    """Full cartesian sweep used by the Fig. 8 / Fig. 11 benches."""
+    records = []
+    for topology in topologies:
+        for size in sizes:
+            for config in configs:
+                record, _ = run_collective(
+                    topology, config, size, ctype=ctype, chunks=chunks, fusion=fusion
+                )
+                records.append(record)
+    return records
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geomean used for "average speedup across topologies/sizes" claims."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

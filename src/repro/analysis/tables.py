@@ -1,0 +1,72 @@
+"""Plain-text table rendering for bench and CLI output.
+
+The experiment harnesses print the same rows/series the paper's figures
+show; this module keeps their formatting consistent (fixed-width columns,
+right-aligned numbers, optional per-column formatters).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    formats: Sequence[Callable[[object], str]] | None = None,
+    indent: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    ``formats`` optionally supplies one formatter per column; default is
+    ``str``.  The first column is left-aligned (labels), the rest right.
+    """
+    if formats is None:
+        formats = [str] * len(headers)
+    if len(formats) != len(headers):
+        raise ValueError(
+            f"{len(headers)} headers but {len(formats)} formatters"
+        )
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        rendered.append([fmt(cell) for fmt, cell in zip(formats, row)])
+
+    widths = [
+        max(len(line[col]) for line in rendered) for col in range(len(headers))
+    ]
+    lines = []
+    for line_index, line in enumerate(rendered):
+        cells = []
+        for col, cell in enumerate(line):
+            if col == 0:
+                cells.append(cell.ljust(widths[col]))
+            else:
+                cells.append(cell.rjust(widths[col]))
+        lines.append(indent + "  ".join(cells).rstrip())
+        if line_index == 0:
+            lines.append(indent + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def pct(value: object) -> str:
+    """Format a 0..1 fraction as a percentage with one decimal."""
+    return f"{float(value) * 100:.1f}%"
+
+
+def ratio(value: object) -> str:
+    """Format a speedup ratio, e.g. ``1.72x``."""
+    return f"{float(value):.2f}x"
+
+
+def ms(value: object) -> str:
+    """Format seconds as milliseconds with three significant digits."""
+    return f"{float(value) * 1e3:.3g}ms"
+
+
+def us(value: object) -> str:
+    """Format seconds as microseconds."""
+    return f"{float(value) * 1e6:.4g}us"

@@ -1,0 +1,171 @@
+"""Command-line interface: ``themis-sim`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``topologies``
+    List the Table 2 topology presets and their BW distributions.
+``collective``
+    Simulate one collective on one topology under each scheduler.
+``train``
+    Simulate training iterations of a paper workload.
+``provisioning``
+    Sec. 6.3 BW-distribution assessment of a topology.
+``fig``
+    Regenerate a paper figure (4, 5, 8, 9, 10, 11, 12) or the headline
+    numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.provisioning import assess
+from .analysis.sweep import PAPER_SCHEDULERS, run_collective
+from .analysis.tables import format_table, ms, pct
+from .collectives.types import CollectiveType
+from .errors import ReproError
+from .topology import get_topology, preset_names
+from .training.iteration import TrainingConfig, simulate_training
+from .units import fmt_size, fmt_time, parse_size
+from .workloads import get_workload
+
+
+def _cmd_topologies(_args: argparse.Namespace) -> int:
+    for name in preset_names():
+        print(get_topology(name).describe())
+        print()
+    return 0
+
+
+def _cmd_collective(args: argparse.Namespace) -> int:
+    topology = get_topology(args.topology)
+    size = parse_size(args.size)
+    ctype = CollectiveType.from_name(args.type)
+    print(
+        f"{ctype.value} of {fmt_size(size)} on {topology.name} "
+        f"({args.chunks} chunks):"
+    )
+    rows = []
+    baseline_time = None
+    for config in PAPER_SCHEDULERS:
+        record, _ = run_collective(
+            topology, config, size, ctype=ctype, chunks=args.chunks
+        )
+        if config.label == "Baseline":
+            baseline_time = record.comm_time
+        speedup = baseline_time / record.comm_time if baseline_time else 1.0
+        rows.append((config.label, record.comm_time, record.utilization, speedup))
+    print(
+        format_table(
+            ["scheduler", "comm time", "avg BW util", "speedup"],
+            rows,
+            [str, ms, pct, "{:.2f}x".format],
+        )
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    topology = get_topology(args.topology)
+    config = TrainingConfig(
+        iterations=args.iterations,
+        overlap_dp=not args.sync_dp,
+        dp_bucket_bytes=parse_size(args.bucket) if args.bucket else None,
+    )
+    print(workload.describe(topology))
+    print()
+    for scheduler, ideal in (("baseline", False), ("themis", False), ("themis", True)):
+        report = simulate_training(
+            workload, topology, scheduler=scheduler, config=config,
+            ideal_network=ideal,
+        )
+        print(report.describe())
+    return 0
+
+
+def _cmd_provisioning(args: argparse.Namespace) -> int:
+    print(assess(get_topology(args.topology)).describe())
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    runners = {
+        "4": lambda: experiments.run_fig4(quick=args.quick),
+        "5": experiments.run_fig5,
+        "8": lambda: experiments.run_fig8(quick=args.quick),
+        "9": experiments.run_fig9,
+        "10": lambda: experiments.run_fig10(quick=args.quick),
+        "11": lambda: experiments.run_fig11(quick=args.quick),
+        "12": lambda: experiments.run_fig12(quick=args.quick),
+        "headline": lambda: experiments.run_headline(quick=args.quick),
+    }
+    runner = runners.get(args.figure)
+    if runner is None:
+        known = ", ".join(runners)
+        print(f"unknown figure {args.figure!r}; known: {known}", file=sys.stderr)
+        return 2
+    print(runner().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="themis-sim",
+        description="Themis (ISCA 2022) collective-scheduling reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies", help="list Table 2 topology presets")
+
+    collective = sub.add_parser("collective", help="simulate one collective")
+    collective.add_argument("--topology", default="3D-SW_SW_SW_homo")
+    collective.add_argument("--size", default="1GB")
+    collective.add_argument("--type", default="allreduce")
+    collective.add_argument("--chunks", type=int, default=64)
+
+    train = sub.add_parser("train", help="simulate training iterations")
+    train.add_argument("--workload", default="resnet-152")
+    train.add_argument("--topology", default="3D-SW_SW_SW_homo")
+    train.add_argument("--iterations", type=int, default=1)
+    train.add_argument("--bucket", default="100MB",
+                       help="DP gradient bucket size ('' for per-layer)")
+    train.add_argument("--sync-dp", action="store_true",
+                       help="expose all DP comm at end of backprop (paper mode)")
+
+    provisioning = sub.add_parser(
+        "provisioning", help="Sec. 6.3 BW-distribution assessment"
+    )
+    provisioning.add_argument("--topology", default="3D-SW_SW_SW_homo")
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure")
+    fig.add_argument("figure", help="4, 5, 8, 9, 10, 11, 12, or 'headline'")
+    fig.add_argument("--full", dest="quick", action="store_false",
+                     help="run the full (slow) sweep instead of quick mode")
+    return parser
+
+
+_COMMANDS = {
+    "topologies": _cmd_topologies,
+    "collective": _cmd_collective,
+    "train": _cmd_train,
+    "provisioning": _cmd_provisioning,
+    "fig": _cmd_fig,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

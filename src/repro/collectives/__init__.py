@@ -1,0 +1,50 @@
+"""Collective communication patterns, algorithms, and stage math."""
+
+from .base import CollectiveAlgorithm
+from .direct import DirectAlgorithm
+from .halving_doubling import HalvingDoublingAlgorithm
+from .offload import SwitchOffloadAlgorithm, offload_overrides
+from .phases import (
+    Stage,
+    invariant_bytes_per_npu,
+    phase_ops,
+    stage_bytes_fraction,
+    stage_plan,
+    validate_dim_order,
+)
+from .registry import (
+    DEFAULT_KIND_ALGORITHMS,
+    algorithm_for_dimension,
+    algorithm_names,
+    algorithms_for_topology,
+    get_algorithm,
+    register_algorithm,
+)
+from .ring import RingAlgorithm
+from .tree import TreeAlgorithm
+from .types import CollectiveRequest, CollectiveType, PhaseOp
+
+__all__ = [
+    "CollectiveAlgorithm",
+    "CollectiveRequest",
+    "CollectiveType",
+    "PhaseOp",
+    "RingAlgorithm",
+    "DirectAlgorithm",
+    "HalvingDoublingAlgorithm",
+    "SwitchOffloadAlgorithm",
+    "offload_overrides",
+    "TreeAlgorithm",
+    "Stage",
+    "stage_plan",
+    "phase_ops",
+    "stage_bytes_fraction",
+    "invariant_bytes_per_npu",
+    "validate_dim_order",
+    "DEFAULT_KIND_ALGORITHMS",
+    "algorithm_for_dimension",
+    "algorithms_for_topology",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+]

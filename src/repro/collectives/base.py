@@ -1,0 +1,74 @@
+"""Abstract cost model of a topology-aware collective algorithm.
+
+The paper's latency model (Sec. 4.4) for one chunk operation on one network
+dimension is:
+
+    latency = A_K + n_K x B_K
+    A_K     = number_of_steps x step_latency
+    n_K     = bytes each NPU sends into the dimension for the op
+    B_K     = per-byte latency = 1 / aggregate-per-NPU-bandwidth
+
+Every algorithm in Table 1 is *bandwidth-optimal* on its native topology,
+so the byte term is identical across them — ``stage_size x (P-1)/P`` for RS
+and AG — and they differ only in ``number_of_steps`` (and hence in the fixed
+latency paid per op).  Subclasses provide the per-pattern step counts.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..errors import CollectiveError
+from ..topology import DimensionSpec
+from .types import PhaseOp
+
+
+class CollectiveAlgorithm(abc.ABC):
+    """Cost model for RS/AG/A2A (and one-shot AR) on a single dimension."""
+
+    #: Human-readable algorithm name as used in Table 1.
+    name: str = "abstract"
+
+    # --- step counts (subclass responsibility) --------------------------
+    @abc.abstractmethod
+    def steps(self, op: PhaseOp, peers: int) -> int:
+        """Number of sequential communication steps for ``op`` on ``peers`` NPUs."""
+
+    # --- byte volumes -------------------------------------------------------
+    def bytes_per_npu(self, op: PhaseOp, stage_size: float, peers: int) -> float:
+        """Bytes each NPU sends into the dimension to run ``op``.
+
+        ``stage_size`` follows the paper's convention (Sec. 2.3): the chunk
+        data residing on each NPU *as the RS op of this dimension sees it*
+        (for AG this is the post-gather size, which makes RS and AG of the
+        same stage size cost the same — cf. Fig. 5's normalization).
+
+        Bandwidth-optimal RS/AG move ``stage_size x (P-1)/P`` per NPU
+        (paper footnote 7).  Hierarchical All-to-All likewise exchanges
+        everything but the local share.
+        """
+        if peers < 2:
+            raise CollectiveError(f"need at least 2 peers, got {peers}")
+        if stage_size < 0:
+            raise CollectiveError(f"stage size must be >= 0, got {stage_size}")
+        return stage_size * (peers - 1) / peers
+
+    # --- latency ------------------------------------------------------------
+    def fixed_latency(self, op: PhaseOp, dim: DimensionSpec) -> float:
+        """The fixed delay ``A_K = steps x step_latency`` (seconds)."""
+        return self.steps(op, dim.size) * dim.step_latency
+
+    def transfer_time(self, op: PhaseOp, stage_size: float, dim: DimensionSpec) -> float:
+        """The bandwidth term ``n_K x B_K`` (seconds).
+
+        When the dimension's packet model is enabled, per-packet header
+        overhead inflates the wire bytes — the goodput effect the paper
+        notes for very fine chunking (Sec. 6.1).
+        """
+        payload = self.bytes_per_npu(op, stage_size, dim.size)
+        wire = dim.wire_bytes(payload, steps=self.steps(op, dim.size))
+        return wire / dim.bandwidth
+
+    def op_time(self, op: PhaseOp, stage_size: float, dim: DimensionSpec) -> float:
+        """Full chunk-op latency ``A_K + n_K x B_K`` (seconds)."""
+        return self.fixed_latency(op, dim) + self.transfer_time(op, stage_size, dim)

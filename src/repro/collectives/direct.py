@@ -1,0 +1,31 @@
+"""Direct (one-step) collective algorithm for fully-connected dimensions.
+
+When every pair of the ``P`` peer NPUs shares a dedicated link (paper
+Table 1: FullyConnected -> Direct [59]), Reduce-Scatter and All-Gather
+complete in a single step: each NPU simultaneously sends a distinct
+``stage_size / P`` share to each of the ``P - 1`` peers.  The byte volume is
+the same bandwidth-optimal ``stage_size x (P-1)/P``; only the step count
+(and hence the fixed latency ``A_K``) differs from the ring.
+
+All-to-All is likewise a single simultaneous exchange on a fully-connected
+dimension.
+"""
+
+from __future__ import annotations
+
+from ..errors import CollectiveError
+from .base import CollectiveAlgorithm
+from .types import PhaseOp
+
+
+class DirectAlgorithm(CollectiveAlgorithm):
+    """Single-step direct exchange on a fully-connected dimension."""
+
+    name = "Direct"
+
+    def steps(self, op: PhaseOp, peers: int) -> int:
+        if peers < 2:
+            raise CollectiveError(f"need at least 2 peers, got {peers}")
+        if op in (PhaseOp.RS, PhaseOp.AG, PhaseOp.A2A):
+            return 1
+        raise CollectiveError(f"unsupported phase op {op!r}")

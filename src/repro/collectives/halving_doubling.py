@@ -1,0 +1,43 @@
+"""Recursive halving / doubling algorithm for switch-based dimensions.
+
+Paper Table 1 pairs Switch dimensions with Halving-Doubling [34]: a
+hypercube-style exchange where Reduce-Scatter recursively halves the data
+over ``log2(P)`` steps (sending ``stage_size/2 + stage_size/4 + ... =
+stage_size x (P-1)/P`` in total) and All-Gather recursively doubles it back.
+The byte volume matches ring/direct; the step count is logarithmic, which is
+why switches with non-negligible per-step latency prefer it over rings.
+
+``P`` must be a power of two; the Table 2 switch dimensions (8, 16, 64) all
+are.  All-to-All over a switch uses pairwise exchange in ``P - 1`` rounds
+(the classic XOR schedule), each round moving ``stage_size / P``.
+"""
+
+from __future__ import annotations
+
+from ..errors import CollectiveError
+from .base import CollectiveAlgorithm
+from .types import PhaseOp
+
+
+def _log2_exact(value: int) -> int:
+    """log2 for exact powers of two; raises otherwise."""
+    if value < 1 or value & (value - 1):
+        raise CollectiveError(
+            f"halving-doubling requires a power-of-two peer count, got {value}"
+        )
+    return value.bit_length() - 1
+
+
+class HalvingDoublingAlgorithm(CollectiveAlgorithm):
+    """Recursive halving (RS) / doubling (AG) on a switch dimension."""
+
+    name = "HalvingDoubling"
+
+    def steps(self, op: PhaseOp, peers: int) -> int:
+        if peers < 2:
+            raise CollectiveError(f"need at least 2 peers, got {peers}")
+        if op in (PhaseOp.RS, PhaseOp.AG):
+            return _log2_exact(peers)
+        if op is PhaseOp.A2A:
+            return peers - 1
+        raise CollectiveError(f"unsupported phase op {op!r}")

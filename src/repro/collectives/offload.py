@@ -1,0 +1,66 @@
+"""In-network (switch) collective offload (paper Sec. 4.5).
+
+SHARP-style switches [12, 33] reduce data in the network: for a
+Reduce-Scatter each NPU uploads its full contribution once and receives its
+reduced shard back, instead of exchanging ``(P-1)/P`` of the data over
+``log2 P`` rounds; for an All-Gather each NPU uploads only its own shard
+and the switch multicasts.  The paper notes offload "reduces the
+collective's network traffic (n_K) and fixed delay (A_K)" but that the
+hierarchical scheduling problem — and hence Themis's role — is unchanged.
+
+Byte volumes per NPU (send side, ``stage_size`` in the library's
+convention):
+
+* RS:  ``stage_size``          (one full upload; ~half of RS+AG round trip)
+* AG:  ``stage_size / P``      (upload own shard; switch multicasts)
+* A2A: ``stage_size x (P-1)/P``  (no reduction to offload)
+
+Steps: a single up+down exchange (2 step latencies) for RS/AG.
+"""
+
+from __future__ import annotations
+
+from ..errors import CollectiveError
+from .base import CollectiveAlgorithm
+from .types import PhaseOp
+
+
+class SwitchOffloadAlgorithm(CollectiveAlgorithm):
+    """SHARP-style in-switch reduction/multicast for switch dimensions."""
+
+    name = "SwitchOffload"
+
+    def steps(self, op: PhaseOp, peers: int) -> int:
+        if peers < 2:
+            raise CollectiveError(f"need at least 2 peers, got {peers}")
+        if op in (PhaseOp.RS, PhaseOp.AG):
+            return 2  # NPU -> switch -> NPU
+        if op is PhaseOp.A2A:
+            return peers - 1
+        raise CollectiveError(f"unsupported phase op {op!r}")
+
+    def bytes_per_npu(self, op: PhaseOp, stage_size: float, peers: int) -> float:
+        if peers < 2:
+            raise CollectiveError(f"need at least 2 peers, got {peers}")
+        if stage_size < 0:
+            raise CollectiveError(f"stage size must be >= 0, got {stage_size}")
+        if op is PhaseOp.RS:
+            return stage_size
+        if op is PhaseOp.AG:
+            return stage_size / peers
+        return stage_size * (peers - 1) / peers
+
+
+def offload_overrides(topology) -> dict[int, str]:
+    """Override map putting SwitchOffload on every switch dimension.
+
+    Convenience for experiments: pass to
+    :func:`repro.collectives.algorithms_for_topology`.
+    """
+    from ..topology import DimensionKind
+
+    return {
+        index: "SwitchOffload"
+        for index, dim in enumerate(topology.dims)
+        if dim.kind is DimensionKind.SWITCH
+    }

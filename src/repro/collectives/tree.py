@@ -1,0 +1,48 @@
+"""Binomial-tree collective algorithm (extension beyond Table 1).
+
+Tree-based All-Reduce [50] is cited in the paper's background (Sec. 2.2) as
+one of the basic algorithms implemented by NCCL/oneCCL.  We include a
+binomial-tree cost model as an optional per-dimension algorithm so that
+ablation benches can compare bandwidth-optimal (ring/direct/HD) schedules
+against the latency-optimal-but-bandwidth-suboptimal tree.
+
+A binomial reduce (or broadcast) over ``P`` NPUs takes ``ceil(log2 P)``
+steps, but every step moves the *full* ``stage_size`` payload, so the byte
+volume is ``stage_size x ceil(log2 P)`` — worse than the optimal
+``stage_size x (P-1)/P`` for P > 2.  RS is modelled as reduce-then-scatter,
+AG as gather-then-broadcast, both pessimistically charged the tree's byte
+volume.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import CollectiveError
+from .base import CollectiveAlgorithm
+from .types import PhaseOp
+
+
+class TreeAlgorithm(CollectiveAlgorithm):
+    """Binomial-tree schedule; latency-optimal, bandwidth-suboptimal."""
+
+    name = "Tree"
+
+    def steps(self, op: PhaseOp, peers: int) -> int:
+        if peers < 2:
+            raise CollectiveError(f"need at least 2 peers, got {peers}")
+        if op in (PhaseOp.RS, PhaseOp.AG):
+            return math.ceil(math.log2(peers))
+        if op is PhaseOp.A2A:
+            return peers - 1
+        raise CollectiveError(f"unsupported phase op {op!r}")
+
+    def bytes_per_npu(self, op: PhaseOp, stage_size: float, peers: int) -> float:
+        if peers < 2:
+            raise CollectiveError(f"need at least 2 peers, got {peers}")
+        if stage_size < 0:
+            raise CollectiveError(f"stage size must be >= 0, got {stage_size}")
+        if op is PhaseOp.A2A:
+            return stage_size * (peers - 1) / peers
+        # Each tree level forwards the full payload once.
+        return stage_size * math.ceil(math.log2(peers))

@@ -1,0 +1,173 @@
+"""Ideal (100%-utilization) reference models (paper Table 3 / Sec. 6.3).
+
+The paper's *Ideal* method "assumes 100% BW is utilized. Communication
+latency is simply calculated by (collective size / total BW)".  With the
+invariant-bytes lemma (see ``collectives.phases``), the bytes every NPU must
+send are schedule-invariant, so the Ideal latency is exactly::
+
+    T_ideal = invariant_bytes_per_npu / sum_K BW_K
+
+This is achievable only when chunk loads can actually be balanced across
+dimensions; in the *UnderProvisioned* scenario of Sec. 6.3 no schedule can
+fully drive every dimension.  :class:`LpIdealEstimator` computes the exact
+fluid lower bound by linear programming over all ``D!`` dimension orders:
+minimize the makespan ``T`` subject to every dimension's total transfer time
+not exceeding ``T``.  The gap between the two estimators is precisely the
+utilization the BW distribution leaves unreachable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..collectives.phases import invariant_bytes_per_npu, stage_bytes_fraction
+from ..collectives.types import CollectiveType
+from ..errors import CollectiveError
+from ..topology import Topology
+
+
+class IdealEstimator:
+    """Table 3 Ideal: ``invariant bytes / total BW`` (100% utilization).
+
+    For All-to-All the sum-of-BW bound is unachievable by *any* schedule:
+    A2A stage sizes do not shrink across dimensions, so every dimension K
+    must carry ``size x (P_K - 1)/P_K`` regardless of chunk ordering — the
+    tight bound is the bottleneck dimension, and that is what we return.
+    """
+
+    name = "Ideal"
+
+    def collective_time(
+        self, ctype: CollectiveType, size: float, topology: Topology
+    ) -> float:
+        """Lower-bound latency assuming every dimension transfers at full BW."""
+        if ctype is CollectiveType.ALL_TO_ALL:
+            return max(
+                size * (dim.size - 1) / dim.size / dim.bandwidth
+                for dim in topology.dims
+            )
+        total_bytes = invariant_bytes_per_npu(ctype, size, topology)
+        return total_bytes / topology.total_bandwidth
+
+
+@dataclass(frozen=True)
+class FluidSolution:
+    """Result of the LP fluid relaxation.
+
+    ``makespan`` is the optimal balanced completion time; ``order_weights``
+    maps each dimension order to the fraction of the collective routed
+    through it; ``dim_times`` is each dimension's total transfer time under
+    the optimal mix.
+    """
+
+    makespan: float
+    order_weights: dict[tuple[int, ...], float]
+    dim_times: tuple[float, ...]
+
+    @property
+    def bottleneck_dims(self) -> tuple[int, ...]:
+        """Dimensions whose transfer time equals the makespan (tight dims)."""
+        tol = 1e-9 * max(self.makespan, 1e-30)
+        return tuple(
+            i for i, t in enumerate(self.dim_times) if self.makespan - t <= tol
+        )
+
+
+class LpIdealEstimator:
+    """Exact fluid bound: LP over all D! chunk dimension-orders.
+
+    Variables are the bytes routed through each order; constraints cap each
+    dimension's transfer time at the makespan ``T``; objective minimizes
+    ``T``.  For All-Reduce the AG phase mirrors the RS order, matching
+    Algorithm 1 (and, by RS/AG cost symmetry, losing no generality).
+    """
+
+    name = "LP-Ideal"
+
+    def solve(
+        self, ctype: CollectiveType, size: float, topology: Topology
+    ) -> FluidSolution:
+        if size <= 0:
+            raise CollectiveError(f"collective size must be positive, got {size}")
+        ndims = topology.ndims
+        orders = list(itertools.permutations(range(ndims)))
+        bandwidths = topology.bandwidths
+
+        # Transfer time (seconds) per dimension if the *whole* collective is
+        # routed via each order; variables are then well-scaled fractions.
+        coeffs = np.zeros((ndims, len(orders)))
+        for j, order in enumerate(orders):
+            fractions = stage_bytes_fraction(ctype, order, topology)
+            for k in range(ndims):
+                coeffs[k, j] = size * fractions[k] / bandwidths[k]
+
+        # Normalize the time unit so coefficients are O(1) regardless of the
+        # collective size (HiGHS tolerances are absolute).
+        time_scale = float(coeffs.max())
+        if time_scale <= 0:  # pragma: no cover - degenerate inputs rejected above
+            raise CollectiveError("fluid LP has no positive transfer times")
+        coeffs = coeffs / time_scale
+
+        # Variables: f_0..f_{m-1} (fraction of bytes per order), t (makespan).
+        nvars = len(orders) + 1
+        objective = np.zeros(nvars)
+        objective[-1] = 1.0  # minimize t
+        # coeffs @ f - t <= 0 for every dimension.
+        a_ub = np.hstack([coeffs, -np.ones((ndims, 1))])
+        b_ub = np.zeros(ndims)
+        # sum(f) == 1.
+        a_eq = np.zeros((1, nvars))
+        a_eq[0, : len(orders)] = 1.0
+        b_eq = np.array([1.0])
+        result = linprog(
+            objective,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=[(0, None)] * len(orders) + [(0, None)],
+            method="highs",
+        )
+        if not result.success:  # pragma: no cover - LP is always feasible
+            raise CollectiveError(f"fluid LP failed: {result.message}")
+        weights = {
+            order: float(result.x[j]) * size
+            for j, order in enumerate(orders)
+            if result.x[j] > 1e-12
+        }
+        dim_times = tuple(
+            float(v) * time_scale for v in coeffs @ result.x[: len(orders)]
+        )
+        return FluidSolution(
+            makespan=float(result.x[-1]) * time_scale,
+            order_weights=weights,
+            dim_times=dim_times,
+        )
+
+    def collective_time(
+        self, ctype: CollectiveType, size: float, topology: Topology
+    ) -> float:
+        """The fluid-optimal makespan (bandwidth terms only)."""
+        return self.solve(ctype, size, topology).makespan
+
+
+def achievable_utilization(
+    ctype: CollectiveType, topology: Topology, size: float | None = None
+) -> float:
+    """Best average BW utilization any scheduler could reach (Sec. 6.3).
+
+    The ratio of the 100%-utilization Ideal time to the fluid-optimal
+    makespan: 1.0 when the BW distribution is balanced or over-provisioned,
+    below 1.0 when some dimension is under-provisioned.  ``size`` is
+    irrelevant to the ratio (both scale linearly) but may be supplied.
+    """
+    probe = size if size is not None else 1.0
+    ideal = IdealEstimator().collective_time(ctype, probe, topology)
+    fluid = LpIdealEstimator().collective_time(ctype, probe, topology)
+    if fluid <= 0:
+        return 1.0
+    return min(1.0, ideal / fluid)

@@ -1,0 +1,110 @@
+"""Intra-dimension chunk scheduling policies (paper Sec. 4.3).
+
+When several chunk operations are simultaneously ready on one dimension,
+the policy picks which runs next:
+
+* **FIFO** — process in arrival order.  The paper's default for the baseline
+  (where policies do not matter, since every chunk has the identical
+  schedule) and for the Themis+FIFO configuration.
+* **SCF** (Smallest-Chunk-First) — the paper's empirically best policy for
+  Themis: small ops finish quickly and feed their chunk to the next
+  dimension sooner, reducing dimension starvation.
+* **LCF** (Largest-Chunk-First) — the adversarial mirror of SCF, included
+  as an ablation to quantify how much intra-dimension ordering matters.
+
+Policies order *ready* ops only; op readiness (previous stage completed) is
+the executor's concern.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..sim.executor import OpState
+
+
+class IntraDimPolicy(abc.ABC):
+    """Selects the next ready chunk-op for a dimension channel."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sort_key(self, op: "OpState") -> tuple:
+        """Total order over ready ops; the smallest key runs first."""
+
+    def select(self, ready_ops: list["OpState"]) -> "OpState":
+        """Pick the next op to execute from the non-empty ready list."""
+        if not ready_ops:
+            raise ConfigError("policy invoked with no ready ops")
+        return min(ready_ops, key=self.sort_key)
+
+
+class FifoPolicy(IntraDimPolicy):
+    """First-in first-out by readiness time (ties: issue order, chunk id)."""
+
+    name = "FIFO"
+
+    def sort_key(self, op: "OpState") -> tuple:
+        return (
+            -op.priority,
+            op.ready_time,
+            op.collective_seq,
+            op.chunk_id,
+            op.stage_index,
+        )
+
+
+class SmallestChunkFirstPolicy(IntraDimPolicy):
+    """Smallest stage first (paper's SCF); ties fall back to FIFO order."""
+
+    name = "SCF"
+
+    def sort_key(self, op: "OpState") -> tuple:
+        return (
+            -op.priority,
+            op.stage.stage_size,
+            op.ready_time,
+            op.collective_seq,
+            op.chunk_id,
+            op.stage_index,
+        )
+
+
+class LargestChunkFirstPolicy(IntraDimPolicy):
+    """Largest stage first — ablation counterpart of SCF."""
+
+    name = "LCF"
+
+    def sort_key(self, op: "OpState") -> tuple:
+        return (
+            -op.priority,
+            -op.stage.stage_size,
+            op.ready_time,
+            op.collective_seq,
+            op.chunk_id,
+            op.stage_index,
+        )
+
+
+_POLICIES = {
+    "fifo": FifoPolicy,
+    "scf": SmallestChunkFirstPolicy,
+    "lcf": LargestChunkFirstPolicy,
+}
+
+
+def get_policy(name: str) -> IntraDimPolicy:
+    """Instantiate a policy by (case-insensitive) name."""
+    lowered = name.strip().lower()
+    if lowered not in _POLICIES:
+        known = ", ".join(sorted(_POLICIES))
+        raise ConfigError(f"unknown intra-dimension policy {name!r}; known: {known}")
+    return _POLICIES[lowered]()
+
+
+def policy_names() -> tuple[str, ...]:
+    return tuple(sorted(_POLICIES))

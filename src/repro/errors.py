@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Themis reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of this package with a single ``except``
+clause while still being able to discriminate finer failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied (sizes, BW, counts...)."""
+
+
+class TopologyError(ConfigError):
+    """A topology description is malformed or internally inconsistent."""
+
+
+class CollectiveError(ReproError):
+    """A collective request cannot be satisfied (bad type, size, or dims)."""
+
+
+class ScheduleError(ReproError):
+    """A chunk schedule is invalid (not a permutation, wrong ops, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable event remains while unfinished work is still pending."""
+
+
+class WorkloadError(ConfigError):
+    """A DNN workload description is malformed or unsupported."""

@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating every paper figure and table."""
+
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .fig8 import Fig8Result, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .fig11 import Fig11Result, run_fig11
+from .fig12 import Fig12Result, run_fig12
+from .headline import PAPER_HEADLINES, HeadlineResult, run_headline
+
+__all__ = [
+    "run_fig4",
+    "run_fig5",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_headline",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig12Result",
+    "HeadlineResult",
+    "PAPER_HEADLINES",
+]

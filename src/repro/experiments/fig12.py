@@ -1,0 +1,163 @@
+"""Fig. 12 reproduction: end-to-end training-iteration breakdowns.
+
+Four workloads (ResNet-152, GNMT, DLRM, Transformer-1T) x six Table 2
+topologies x three configurations (Baseline, Themis+SCF, Ideal), decomposed
+into forward compute, backward compute, exposed MP comm, exposed DP comm.
+
+Paper headlines: averaged over topologies, Themis speeds up training
+iterations by 1.49x / 1.30x / 1.30x / 1.25x for ResNet-152 / GNMT / DLRM /
+Transformer-1T, close to the Ideal's 1.54x / 1.32x / 1.33x / 1.26x.
+
+Accounting follows the paper (Sec. 6.2): data-parallel gradient collectives
+are exposed at the end of back-propagation (no DDP-style overlap), bucketed
+to 100 MB so collective sizes land in the paper's 100 MB-1 GB microbench
+range.  ``quick`` mode shrinks Transformer-1T's depth (every layer is
+identical, so relative speedups are preserved) and simulates one iteration
+instead of three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import format_table, ms, ratio
+from ..topology import PAPER_TOPOLOGY_NAMES, get_topology
+from ..training.iteration import TrainingConfig, simulate_training
+from ..training.results import TrainingReport
+from ..units import MB
+from ..workloads import dlrm, gnmt, resnet152, transformer_1t
+from ..workloads.base import Workload
+
+#: Fig. 12 simulated configurations.
+CONFIG_LABELS: tuple[str, ...] = ("Baseline", "Themis+SCF", "Ideal")
+
+
+def fig12_workloads(quick: bool = False) -> list[Workload]:
+    """The paper's four workloads; quick mode shrinks Transformer-1T depth."""
+    transformer_layers = 8 if quick else 128
+    return [
+        resnet152(),
+        gnmt(),
+        dlrm(),
+        transformer_1t(num_layers=transformer_layers),
+    ]
+
+
+def fig12_training_config(quick: bool = False) -> TrainingConfig:
+    return TrainingConfig(
+        iterations=1 if quick else 3,
+        overlap_dp=False,
+        dp_bucket_bytes=100 * MB,
+    )
+
+
+@dataclass
+class Fig12Result:
+    """Training reports keyed by (workload, topology, configuration)."""
+
+    reports: dict[tuple[str, str, str], TrainingReport] = field(default_factory=dict)
+
+    def report(self, workload: str, topology: str, config: str) -> TrainingReport:
+        return self.reports[(workload, topology, config)]
+
+    def speedup(self, workload: str, topology: str, config: str) -> float:
+        """Iteration-time speedup of ``config`` over the baseline."""
+        baseline = self.report(workload, topology, "Baseline").total_time
+        return baseline / self.report(workload, topology, config).total_time
+
+    def workload_names(self) -> list[str]:
+        return sorted({k[0] for k in self.reports}, key=str)
+
+    def topology_names(self) -> list[str]:
+        return sorted({k[1] for k in self.reports}, key=str)
+
+    def mean_speedup(self, workload: str, config: str) -> float:
+        values = [
+            self.speedup(workload, topo, config) for topo in self.topology_names()
+        ]
+        return sum(values) / len(values)
+
+    def max_speedup(self, workload: str, config: str) -> float:
+        return max(
+            self.speedup(workload, topo, config) for topo in self.topology_names()
+        )
+
+    def render(self) -> str:
+        blocks = ["Fig. 12: training iteration breakdown (per iteration averages)"]
+        for workload in self.workload_names():
+            rows = []
+            for topo in self.topology_names():
+                for config in CONFIG_LABELS:
+                    report = self.report(workload, topo, config)
+                    breakdown = report.total
+                    n = max(1, len(report.iterations))
+                    rows.append(
+                        (
+                            f"{topo} / {config}",
+                            breakdown.fwd_compute / n,
+                            breakdown.bwd_compute / n,
+                            breakdown.exposed_mp / n,
+                            breakdown.exposed_dp / n,
+                            breakdown.total / n,
+                        )
+                    )
+            blocks.append(
+                f"\n{workload}:\n"
+                + format_table(
+                    ["topology / config", "fwd", "bwd", "MP comm", "DP comm", "total"],
+                    rows,
+                    [str, ms, ms, ms, ms, ms],
+                    indent="  ",
+                )
+            )
+        summary_rows = []
+        for workload in self.workload_names():
+            summary_rows.append(
+                (
+                    workload,
+                    self.mean_speedup(workload, "Themis+SCF"),
+                    self.max_speedup(workload, "Themis+SCF"),
+                    self.mean_speedup(workload, "Ideal"),
+                )
+            )
+        blocks.append(
+            "\nspeedup over baseline (mean across topologies):\n"
+            + format_table(
+                ["workload", "Themis+SCF", "Themis max", "Ideal"],
+                summary_rows,
+                [str, ratio, ratio, ratio],
+                indent="  ",
+            )
+        )
+        blocks.append(
+            "  (paper: ResNet-152 1.49x/2.25x, GNMT 1.30x/1.78x, "
+            "DLRM 1.30x/1.77x, Transformer-1T 1.25x/1.53x; "
+            "Ideal 1.54x/1.32x/1.33x/1.26x)"
+        )
+        return "\n".join(blocks)
+
+
+def run_fig12(
+    quick: bool = True,
+    workloads: list[Workload] | None = None,
+    topology_names: tuple[str, ...] = PAPER_TOPOLOGY_NAMES,
+) -> Fig12Result:
+    """Regenerate Fig. 12 (quick mode by default; full mode is minutes)."""
+    workloads = workloads if workloads is not None else fig12_workloads(quick)
+    config = fig12_training_config(quick)
+    result = Fig12Result()
+    for topo_name in topology_names:
+        topology = get_topology(topo_name)
+        for workload in workloads:
+            for label in CONFIG_LABELS:
+                if label == "Ideal":
+                    report = simulate_training(
+                        workload, topology, config=config, ideal_network=True
+                    )
+                else:
+                    scheduler = "baseline" if label == "Baseline" else "themis"
+                    report = simulate_training(
+                        workload, topology, scheduler=scheduler, config=config
+                    )
+                result.reports[(workload.name, topo_name, label)] = report
+    return result

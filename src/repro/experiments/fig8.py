@@ -1,0 +1,82 @@
+"""Fig. 8 reproduction: All-Reduce communication time, 100 MB - 1 GB.
+
+For every Table 2 topology and collective size, compare the total
+communication time of Baseline, Themis+FIFO, and Themis+SCF.  The paper's
+headline from this figure: averaged over all topologies and sizes,
+Themis+FIFO is 1.58x and Themis+SCF 1.72x faster than the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.sweep import PAPER_SCHEDULERS, MicrobenchRecord, geometric_mean, sweep
+from ..analysis.tables import format_table, ms, ratio
+from ..topology import paper_topologies
+from ..units import GB, MB
+
+#: Paper's microbenchmark size range (Sec. 6.1): 100 MB to 1 GB.
+DEFAULT_SIZES: tuple[float, ...] = (100 * MB, 250 * MB, 500 * MB, GB)
+QUICK_SIZES: tuple[float, ...] = (100 * MB, GB)
+
+
+@dataclass
+class Fig8Result:
+    """Per-(topology, size) communication times plus speedup summaries."""
+
+    records: list[MicrobenchRecord] = field(default_factory=list)
+
+    def _by_key(self) -> dict[tuple[str, float], dict[str, MicrobenchRecord]]:
+        table: dict[tuple[str, float], dict[str, MicrobenchRecord]] = {}
+        for record in self.records:
+            table.setdefault((record.topology_name, record.size), {})[
+                record.scheduler
+            ] = record
+        return table
+
+    def speedups(self, scheduler: str) -> list[float]:
+        """Baseline-time / scheduler-time per (topology, size) point."""
+        return [
+            group["Baseline"].comm_time / group[scheduler].comm_time
+            for group in self._by_key().values()
+            if "Baseline" in group and scheduler in group
+        ]
+
+    def mean_speedup(self, scheduler: str) -> float:
+        return geometric_mean(self.speedups(scheduler))
+
+    def max_speedup(self, scheduler: str) -> float:
+        return max(self.speedups(scheduler))
+
+    def render(self) -> str:
+        headers = ["topology", "size", "Baseline", "Themis+FIFO", "Themis+SCF",
+                   "SCF speedup"]
+        rows = []
+        for (topo, size), group in sorted(self._by_key().items()):
+            rows.append(
+                (
+                    topo,
+                    f"{size / MB:.0f}MB",
+                    group["Baseline"].comm_time,
+                    group["Themis+FIFO"].comm_time,
+                    group["Themis+SCF"].comm_time,
+                    group["Baseline"].comm_time / group["Themis+SCF"].comm_time,
+                )
+            )
+        table = format_table(
+            headers, rows, [str, str, ms, ms, ms, ratio]
+        )
+        summary = (
+            f"\nmean speedup: Themis+FIFO {self.mean_speedup('Themis+FIFO'):.2f}x "
+            f"(paper 1.58x), Themis+SCF {self.mean_speedup('Themis+SCF'):.2f}x "
+            f"(paper 1.72x, 2.70x max; measured max "
+            f"{self.max_speedup('Themis+SCF'):.2f}x)"
+        )
+        return "Fig. 8: All-Reduce communication time\n" + table + summary
+
+
+def run_fig8(quick: bool = False, chunks: int = 64) -> Fig8Result:
+    """Regenerate Fig. 8 over the six Table 2 topologies."""
+    sizes = list(QUICK_SIZES if quick else DEFAULT_SIZES)
+    records = sweep(paper_topologies(), sizes, PAPER_SCHEDULERS, chunks=chunks)
+    return Fig8Result(records=records)

@@ -1,0 +1,40 @@
+"""Discrete-event network simulation substrate."""
+
+from .engine import EventQueue
+from .executor import ChannelStats, DimensionChannel, FusionConfig, OpState
+from .network import (
+    CollectiveResult,
+    ExecutionResult,
+    IdealNetwork,
+    NetworkSimulator,
+)
+from .stats import (
+    UtilizationReport,
+    activity_rate_series,
+    bw_utilization,
+    dimension_activity_rates,
+    mean_activity_rate,
+)
+from .timeline import Interval, OpRecord, merge_intervals, render_gantt, total_length
+
+__all__ = [
+    "EventQueue",
+    "FusionConfig",
+    "OpState",
+    "DimensionChannel",
+    "ChannelStats",
+    "NetworkSimulator",
+    "IdealNetwork",
+    "CollectiveResult",
+    "ExecutionResult",
+    "UtilizationReport",
+    "bw_utilization",
+    "activity_rate_series",
+    "dimension_activity_rates",
+    "mean_activity_rate",
+    "Interval",
+    "OpRecord",
+    "merge_intervals",
+    "total_length",
+    "render_gantt",
+]

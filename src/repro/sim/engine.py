@@ -1,0 +1,87 @@
+"""Minimal deterministic discrete-event engine.
+
+The network executor, the schedule-consistency pre-simulation, and the
+training-loop simulator all share this engine.  Events are ``(time, seq,
+callback)`` triples; ``seq`` is a monotonically increasing tie-breaker so
+simultaneous events fire in scheduling order, which keeps every simulation
+fully deterministic — the property the paper's intra-dimension consistency
+mechanism relies on ("the simulation is deterministic, so all NPUs produce
+the same intra-dimension ordering", Sec. 4.6.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+
+
+class EventQueue:
+    """A deterministic priority queue of timed callbacks."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = start_time
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks fired so far (diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._heap)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at absolute ``time``.
+
+        Scheduling in the past is an error: it would silently reorder
+        history and mask bugs in the callers.
+        """
+        if time < self.now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.schedule(self.now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next event; returns ``False`` when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self.now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until no events remain (or ``max_events`` fired).
+
+        ``max_events`` guards against accidental infinite self-rescheduling
+        loops in experiments; production callers leave it ``None``.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events"
+                )
+
+    def run_until(self, time: float) -> None:
+        """Fire all events strictly up to ``time``, then advance ``now``."""
+        while self._heap and self._heap[0][0] <= time:
+            self.step()
+        if time > self.now:
+            self.now = time

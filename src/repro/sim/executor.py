@@ -1,0 +1,324 @@
+"""Per-dimension execution machinery: op states, fusion, dimension channels.
+
+The simulator models each network dimension as a *channel* whose wire
+serializes chunk transfers at the dimension's aggregate bandwidth, while
+the fixed per-op delay ``A_K = steps x step_latency`` is a **pipeline
+shadow**: consecutive chunk ops follow each other at transfer-rate spacing
+and each op's output becomes available ``A_K`` after its transfer ends.
+This realizes exactly the paper's per-dimension cost (Sec. 4.4)::
+
+    Latency(dimK) = A_K + N_K x B_K + idle_K
+
+where ``A_K`` is paid once (by the last op's exposed tail), not once per
+chunk — hierarchical collectives stream chunks through their step pipeline.
+
+Two provisions from Sec. 4.3 are implemented here:
+
+* the **intra-dimension policy** picks which ready op runs next (FIFO/SCF),
+* **fusion** executes several small ops as one batch when a single op's
+  transfer time cannot amortize the fixed latency (the paper's "multiple
+  chunks per dimension ... similar to the collective fusion concept in
+  NCCL"): a fused batch shares one fixed-delay shadow and coalesces
+  scheduling events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..collectives.phases import Stage
+from ..core.policies import IntraDimPolicy
+from ..errors import ConfigError, SimulationError
+from ..topology import DimensionSpec
+from .engine import EventQueue
+from .timeline import Interval, OpRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass(frozen=True)
+class FusionConfig:
+    """Chunk-op fusion parameters (Sec. 4.3, second provision).
+
+    An op is *small* when ``transfer_time < saturation_factor x fixed_time``
+    — it finishes its bytes before the pipeline latency is amortized, so
+    running it alone underutilizes the dimension.  Up to ``max_ops`` small
+    ops are fused into one batch.
+    """
+
+    enabled: bool = True
+    saturation_factor: float = 1.0
+    max_ops: int = 8
+
+    def __post_init__(self) -> None:
+        if self.saturation_factor < 0:
+            raise ConfigError(
+                f"saturation factor must be >= 0, got {self.saturation_factor}"
+            )
+        if self.max_ops < 1:
+            raise ConfigError(f"max fused ops must be >= 1, got {self.max_ops}")
+
+    def is_small(self, op: "OpState") -> bool:
+        return op.transfer_time < self.saturation_factor * op.fixed_time
+
+
+class OpState:
+    """Mutable runtime state of one chunk operation on one dimension."""
+
+    __slots__ = (
+        "collective_seq",
+        "priority",
+        "chunk_id",
+        "stage_index",
+        "stage",
+        "parent_dim",
+        "bytes_sent",
+        "transfer_time",
+        "fixed_time",
+        "ready_time",
+        "start_time",
+        "end_time",
+    )
+
+    def __init__(
+        self,
+        collective_seq: int,
+        chunk_id: int,
+        stage_index: int,
+        stage: Stage,
+        parent_dim: int,
+        bytes_sent: float,
+        transfer_time: float,
+        fixed_time: float,
+        priority: int = 0,
+    ) -> None:
+        self.collective_seq = collective_seq
+        self.priority = priority
+        self.chunk_id = chunk_id
+        self.stage_index = stage_index
+        self.stage = stage
+        self.parent_dim = parent_dim
+        self.bytes_sent = bytes_sent
+        self.transfer_time = transfer_time
+        self.fixed_time = fixed_time
+        self.ready_time = float("inf")
+        self.start_time = float("nan")
+        self.end_time = float("nan")
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        """Identity used by enforced intra-dimension orders."""
+        return (self.collective_seq, self.chunk_id, self.stage_index)
+
+    def to_record(self) -> OpRecord:
+        return OpRecord(
+            collective_seq=self.collective_seq,
+            chunk_id=self.chunk_id,
+            stage_index=self.stage_index,
+            dim_index=self.parent_dim,
+            op=self.stage.op,
+            stage_size=self.stage.stage_size,
+            bytes_sent=self.bytes_sent,
+            transfer_time=self.transfer_time,
+            fixed_time=self.fixed_time,
+            ready_time=self.ready_time,
+            start_time=self.start_time,
+            end_time=self.end_time,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OpState(c{self.collective_seq} chunk{self.chunk_id} "
+            f"stage{self.stage_index} dim{self.parent_dim} {self.stage.op.value})"
+        )
+
+
+@dataclass
+class ChannelStats:
+    """Aggregated per-dimension statistics (feeds utilization and Fig. 9)."""
+
+    busy_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    fixed_seconds: float = 0.0
+    bytes_sent: float = 0.0
+    op_count: int = 0
+    batch_count: int = 0
+    activity_intervals: list[Interval] = field(default_factory=list)
+
+
+class DimensionChannel:
+    """Serial executor for one network dimension.
+
+    Owns a ready queue, applies the intra-dimension policy (optionally
+    overridden by enforced per-collective orders, Sec. 4.6.2), performs
+    fusion, and tracks activity intervals — a dimension "has activity if
+    there is at least one chunk in that dimension for processing" (Fig. 9).
+    """
+
+    def __init__(
+        self,
+        dim_index: int,
+        dim: DimensionSpec,
+        policy: IntraDimPolicy,
+        fusion: FusionConfig,
+        engine: EventQueue,
+        on_batch_done: Callable[["DimensionChannel", list[OpState]], None],
+    ) -> None:
+        self.dim_index = dim_index
+        self.dim = dim
+        self.policy = policy
+        self.fusion = fusion
+        self.engine = engine
+        self.on_batch_done = on_batch_done
+        self.queue: list[OpState] = []
+        self.busy = False
+        self.stats = ChannelStats()
+        # collective_seq -> remaining enforced op-key order for this channel.
+        self.enforced_orders: dict[int, list[tuple[int, int, int]]] = {}
+        self._active_since: float | None = None
+
+    # --- activity tracking ------------------------------------------------
+    @property
+    def has_work(self) -> bool:
+        return self.busy or bool(self.queue)
+
+    def _update_activity(self) -> None:
+        now = self.engine.now
+        if self.has_work and self._active_since is None:
+            self._active_since = now
+        elif not self.has_work and self._active_since is not None:
+            if now > self._active_since:
+                self.stats.activity_intervals.append(
+                    Interval(self._active_since, now)
+                )
+            self._active_since = None
+
+    def finalize_activity(self) -> None:
+        """Close any open activity interval at end of simulation."""
+        self._update_activity()
+        if self._active_since is not None:  # pragma: no cover - defensive
+            now = self.engine.now
+            if now > self._active_since:
+                self.stats.activity_intervals.append(
+                    Interval(self._active_since, now)
+                )
+            self._active_since = None
+
+    # --- enforced orders (schedule consistency, Sec. 4.6.2) ---------------
+    def set_enforced_order(
+        self, collective_seq: int, op_keys: list[tuple[int, int, int]]
+    ) -> None:
+        """Lock this channel's op order for one collective."""
+        self.enforced_orders[collective_seq] = list(op_keys)
+
+    def _eligible_ops(self) -> list[OpState]:
+        """Ready ops allowed to start now under enforced per-collective orders."""
+        eligible = []
+        for op in self.queue:
+            order = self.enforced_orders.get(op.collective_seq)
+            if order is None or (order and order[0] == op.key):
+                eligible.append(op)
+        return eligible
+
+    # --- execution ----------------------------------------------------------
+    def enqueue(self, op: OpState) -> None:
+        """An op's previous stage finished: it is now ready on this channel."""
+        op.ready_time = self.engine.now
+        self.queue.append(op)
+        self._update_activity()
+        self.try_start()
+
+    def try_start(self) -> None:
+        """Start the next batch if the channel is idle and an op is eligible."""
+        if self.busy:
+            return
+        eligible = self._eligible_ops()
+        if not eligible:
+            return
+        batch = self._pick_batch(eligible)
+        for op in batch:
+            self.queue.remove(op)
+            order = self.enforced_orders.get(op.collective_seq)
+            if order and order[0] == op.key:
+                order.pop(0)
+        self._execute(batch)
+
+    def _pick_batch(self, eligible: list[OpState]) -> list[OpState]:
+        first = self.policy.select(eligible)
+        batch = [first]
+        if not self.fusion.enabled or not self.fusion.is_small(first):
+            return batch
+        # Fusing preserves relative start order, so for enforced collectives
+        # eligibility slides forward as earlier ops join the batch.
+        taken: dict[int, int] = {}
+        if first.collective_seq in self.enforced_orders:
+            taken[first.collective_seq] = 1
+        while len(batch) < self.fusion.max_ops:
+            remaining = []
+            for op in self.queue:
+                if op in batch:
+                    continue
+                order = self.enforced_orders.get(op.collective_seq)
+                if order is None:
+                    remaining.append(op)
+                else:
+                    offset = taken.get(op.collective_seq, 0)
+                    if len(order) > offset and order[offset] == op.key:
+                        remaining.append(op)
+            if not remaining:
+                break
+            candidate = self.policy.select(remaining)
+            if not self.fusion.is_small(candidate):
+                break
+            batch.append(candidate)
+            if candidate.collective_seq in self.enforced_orders:
+                taken[candidate.collective_seq] = (
+                    taken.get(candidate.collective_seq, 0) + 1
+                )
+        return batch
+
+    def _execute(self, batch: list[OpState]) -> None:
+        """Run a batch with pipelined fixed latency (paper Sec. 4.4).
+
+        The dimension's wire is occupied for the batch's *transfer* time
+        only; the fixed delay ``A_K = steps x step_latency`` is a pipeline
+        shadow — the results become available ``fixed`` later, but the next
+        batch may start injecting as soon as the wire frees.  This realizes
+        the paper's per-dimension total ``A_K + N_K x B_K + idle_K``, where
+        A_K is paid once (by the exposed tail), not per chunk.
+        """
+        now = self.engine.now
+        fixed = max(op.fixed_time for op in batch)
+        transfer = sum(op.transfer_time for op in batch)
+        for op in batch:
+            op.start_time = now
+            op.end_time = now + fixed + transfer
+        self.busy = True
+        self.stats.busy_seconds += transfer
+        self.stats.transfer_seconds += transfer
+        self.stats.fixed_seconds += fixed
+        self.stats.bytes_sent += sum(op.bytes_sent for op in batch)
+        self.stats.op_count += len(batch)
+        self.stats.batch_count += 1
+        self._update_activity()
+        # Completion is scheduled before the wire release so that when the
+        # fixed delay is zero (same-instant tie) the finished batch's
+        # successor ops are enqueued before the channel picks its next batch.
+        self.engine.schedule(now + fixed + transfer, lambda: self._complete(batch))
+        self.engine.schedule(now + transfer, self._release_wire)
+
+    def _release_wire(self) -> None:
+        if not self.busy:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"dim{self.dim_index} released its wire while not busy"
+            )
+        self.busy = False
+        self._update_activity()
+        self.try_start()
+
+    def _complete(self, batch: list[OpState]) -> None:
+        self.on_batch_done(self, batch)
+        self._update_activity()
+        self.try_start()

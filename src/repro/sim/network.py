@@ -1,0 +1,387 @@
+"""The network simulator facade: submit collectives, run, collect results.
+
+:class:`NetworkSimulator` glues together the scheduler (baseline or Themis),
+the per-dimension channels, and the event engine.  It supports:
+
+* multiple concurrent collectives sharing the dimension channels (real
+  workloads overlap data-parallel All-Reduces with model-parallel traffic),
+* collectives restricted to a subset of dimensions (``request.dim_indices``),
+* optional enforcement of pre-simulated intra-dimension orders (Sec. 4.6.2),
+* completion callbacks, used by the training-loop simulator.
+
+The *Ideal* network model of Table 3 is :class:`IdealNetwork`: a fluid
+server that moves each collective's schedule-invariant byte volume at the
+full aggregate bandwidth of the dimensions it spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..collectives.registry import algorithms_for_topology
+from ..collectives.types import CollectiveRequest
+from ..core.chunk import CollectivePlan
+from ..core.ideal import IdealEstimator
+from ..core.latency_model import LatencyModel
+from ..core.policies import IntraDimPolicy, get_policy
+from ..core.scheduler import SchedulerFactory
+from ..errors import SimulationError
+from ..topology import Topology
+from .engine import EventQueue
+from .executor import DimensionChannel, FusionConfig, OpState
+from .timeline import Interval, OpRecord, merge_intervals, total_length
+
+
+@dataclass
+class CollectiveResult:
+    """Completion summary for one collective."""
+
+    request: CollectiveRequest
+    plan: CollectivePlan | None
+    issue_time: float
+    completion_time: float = float("nan")
+
+    @property
+    def duration(self) -> float:
+        return self.completion_time - self.issue_time
+
+    @property
+    def done(self) -> bool:
+        return self.completion_time == self.completion_time  # not NaN
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a finished simulation exposes to analysis code."""
+
+    topology: Topology
+    records: list[OpRecord]
+    collectives: list[CollectiveResult]
+    dim_transfer_seconds: list[float]
+    dim_busy_seconds: list[float]
+    dim_bytes: list[float]
+    dim_activity: list[list[Interval]]
+    comm_active_intervals: list[Interval]
+
+    @property
+    def start_time(self) -> float:
+        return min(c.issue_time for c in self.collectives)
+
+    @property
+    def completion_time(self) -> float:
+        return max(c.completion_time for c in self.collectives)
+
+    @property
+    def makespan(self) -> float:
+        """Wall time from first issue to last completion."""
+        return self.completion_time - self.start_time
+
+    @property
+    def comm_active_seconds(self) -> float:
+        """Total time with at least one pending collective (paper Sec. 3)."""
+        return total_length(self.comm_active_intervals)
+
+
+class _CollectiveState:
+    """Book-keeping for one in-flight collective."""
+
+    __slots__ = ("result", "remaining_ops", "chunk_ops", "on_complete")
+
+    def __init__(
+        self,
+        result: CollectiveResult,
+        chunk_ops: list[list[OpState]],
+        on_complete: Callable[[CollectiveResult], None] | None,
+    ) -> None:
+        self.result = result
+        self.chunk_ops = chunk_ops
+        self.remaining_ops = sum(len(ops) for ops in chunk_ops)
+        self.on_complete = on_complete
+
+
+class NetworkSimulator:
+    """Event-driven network that executes scheduled collectives.
+
+    Parameters
+    ----------
+    topology:
+        The platform (all dimensions).
+    scheduler:
+        A :class:`SchedulerFactory`; fresh scheduler per collective.
+    policy:
+        Intra-dimension policy name or instance (``"FIFO"``, ``"SCF"``...).
+    fusion:
+        Chunk-op fusion configuration (Sec. 4.3); enabled by default.
+    engine:
+        Optional shared :class:`EventQueue` (the training simulator passes
+        its own so compute and communication share one clock).
+    enforce_consistency:
+        When True, each collective's intra-dimension op order is fixed by a
+        deterministic pre-simulation and enforced at runtime (Sec. 4.6.2).
+    algorithm_overrides:
+        Optional ``{parent dim index: algorithm name}`` map replacing the
+        Table 1 defaults — e.g. ``{2: "SwitchOffload"}`` to model in-network
+        collective offload on dim3 (Sec. 4.5), or ``{0: "Tree"}`` for
+        ablations.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: SchedulerFactory | None = None,
+        policy: str | IntraDimPolicy = "SCF",
+        fusion: FusionConfig | None = None,
+        engine: EventQueue | None = None,
+        enforce_consistency: bool = False,
+        algorithm_overrides: dict[int, str] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.scheduler_factory = scheduler or SchedulerFactory("themis")
+        self.policy = policy if isinstance(policy, IntraDimPolicy) else get_policy(policy)
+        self.fusion = fusion or FusionConfig()
+        self.engine = engine or EventQueue()
+        self.enforce_consistency = enforce_consistency
+        self.algorithm_overrides = dict(algorithm_overrides or {})
+        self.channels = [
+            DimensionChannel(
+                i, dim, self.policy, self.fusion, self.engine, self._on_batch_done
+            )
+            for i, dim in enumerate(topology.dims)
+        ]
+        self._states: dict[int, _CollectiveState] = {}
+        self._results: list[CollectiveResult] = []
+        self._records: list[OpRecord] = []
+        self._subtopo_cache: dict[tuple, tuple[Topology, LatencyModel]] = {}
+        self._inflight = 0
+        self._comm_active_since: float | None = None
+        self._comm_active: list[Interval] = []
+
+    # --- submission ---------------------------------------------------------
+    def submit(
+        self,
+        request: CollectiveRequest,
+        at_time: float | None = None,
+        on_complete: Callable[[CollectiveResult], None] | None = None,
+    ) -> CollectiveResult:
+        """Issue a collective at ``at_time`` (default: current sim time).
+
+        Returns the (initially incomplete) :class:`CollectiveResult`; its
+        ``completion_time`` is filled in when the collective finishes.
+        """
+        issue_time = self.engine.now if at_time is None else at_time
+        result = CollectiveResult(request=request, plan=None, issue_time=issue_time)
+        self._results.append(result)
+        self.engine.schedule(issue_time, lambda: self._start_collective(result, on_complete))
+        return result
+
+    def _resolve_subtopology(
+        self, request: CollectiveRequest
+    ) -> tuple[Topology, LatencyModel]:
+        key = request.communicator_key
+        cached = self._subtopo_cache.get(key)
+        if cached is not None:
+            return cached
+        if request.dim_indices is None:
+            subtopo = self.topology
+        else:
+            subtopo = self.topology.communicator(
+                request.dim_indices, request.peer_counts
+            )
+        local_overrides = {
+            local: self.algorithm_overrides[parent]
+            for local, parent in enumerate(subtopo.parent_indices)
+            if parent in self.algorithm_overrides
+        }
+        model = LatencyModel(
+            subtopo, algorithms_for_topology(subtopo, local_overrides)
+        )
+        self._subtopo_cache[key] = (subtopo, model)
+        return subtopo, model
+
+    def _start_collective(
+        self,
+        result: CollectiveResult,
+        on_complete: Callable[[CollectiveResult], None] | None,
+    ) -> None:
+        request = result.request
+        subtopo, model = self._resolve_subtopology(request)
+        scheduler = self.scheduler_factory.create()
+        plan = scheduler.plan(request, subtopo, model, issue_time=self.engine.now)
+        result.plan = plan
+
+        chunk_ops: list[list[OpState]] = []
+        for chunk in plan.chunks:
+            ops = []
+            for stage_index, stage in enumerate(chunk.stages):
+                parent_dim = subtopo.parent_index(stage.dim_index)
+                ops.append(
+                    OpState(
+                        collective_seq=request.request_id,
+                        chunk_id=chunk.chunk_id,
+                        stage_index=stage_index,
+                        stage=stage,
+                        parent_dim=parent_dim,
+                        bytes_sent=model.bytes_per_npu(
+                            stage.op, stage.stage_size, stage.dim_index
+                        ),
+                        transfer_time=model.chunk_load(
+                            stage.op, stage.stage_size, stage.dim_index
+                        ),
+                        fixed_time=model.fixed_latency(stage.op, stage.dim_index),
+                        priority=request.priority,
+                    )
+                )
+            chunk_ops.append(ops)
+
+        state = _CollectiveState(result, chunk_ops, on_complete)
+        self._states[request.request_id] = state
+        self._mark_comm_active()
+
+        if self.enforce_consistency:
+            self._install_enforced_orders(state)
+
+        for ops in chunk_ops:
+            self.channels[ops[0].parent_dim].enqueue(ops[0])
+
+    def _install_enforced_orders(self, state: _CollectiveState) -> None:
+        """Pre-simulate this collective alone and lock per-dim op orders."""
+        from ..core.consistency import presimulate_intra_dim_orders
+
+        orders = presimulate_intra_dim_orders(
+            state.result.plan,
+            self.topology,
+            policy=self.policy,
+            fusion=self.fusion,
+        )
+        for dim_index, keys in orders.items():
+            self.channels[dim_index].set_enforced_order(
+                state.result.request.request_id, keys
+            )
+
+    # --- progression ----------------------------------------------------------
+    def _on_batch_done(self, channel: DimensionChannel, batch: list[OpState]) -> None:
+        for op in batch:
+            self._records.append(op.to_record())
+            state = self._states[op.collective_seq]
+            ops = state.chunk_ops[op.chunk_id]
+            next_index = op.stage_index + 1
+            if next_index < len(ops):
+                next_op = ops[next_index]
+                self.channels[next_op.parent_dim].enqueue(next_op)
+            state.remaining_ops -= 1
+            if state.remaining_ops == 0:
+                self._finish_collective(state)
+
+    def _finish_collective(self, state: _CollectiveState) -> None:
+        state.result.completion_time = self.engine.now
+        del self._states[state.result.request.request_id]
+        self._mark_comm_idle_if_done()
+        if state.on_complete is not None:
+            state.on_complete(state.result)
+
+    def _mark_comm_active(self) -> None:
+        self._inflight += 1
+        if self._comm_active_since is None:
+            self._comm_active_since = self.engine.now
+
+    def _mark_comm_idle_if_done(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0 and self._comm_active_since is not None:
+            now = self.engine.now
+            if now > self._comm_active_since:
+                self._comm_active.append(Interval(self._comm_active_since, now))
+            self._comm_active_since = None
+
+    # --- running ----------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> ExecutionResult:
+        """Run the engine to quiescence and package the results."""
+        self.engine.run(max_events=max_events)
+        if self._states:
+            raise SimulationError(
+                f"{len(self._states)} collectives never completed "
+                "(deadlock or missing events)"
+            )
+        return self.result()
+
+    def result(self) -> ExecutionResult:
+        """Snapshot results (the engine must be idle for totals to be final)."""
+        if not self._results:
+            raise SimulationError("no collectives were submitted")
+        for channel in self.channels:
+            channel.finalize_activity()
+        return ExecutionResult(
+            topology=self.topology,
+            records=sorted(self._records, key=lambda r: (r.start_time, r.dim_index)),
+            collectives=list(self._results),
+            dim_transfer_seconds=[c.stats.transfer_seconds for c in self.channels],
+            dim_busy_seconds=[c.stats.busy_seconds for c in self.channels],
+            dim_bytes=[c.stats.bytes_sent for c in self.channels],
+            dim_activity=[
+                merge_intervals(c.stats.activity_intervals) for c in self.channels
+            ],
+            comm_active_intervals=merge_intervals(self._comm_active),
+        )
+
+
+class IdealNetwork:
+    """Fluid 100%-utilization network (Table 3 "Ideal").
+
+    Each collective completes after ``invariant_bytes / total_BW`` of
+    *service* time; concurrent collectives queue FIFO on the fluid server
+    (they share the same wires, so a lower bound must still serialize their
+    byte volumes).  Used for the Ideal bars of Fig. 12.
+    """
+
+    def __init__(self, topology: Topology, engine: EventQueue | None = None) -> None:
+        self.topology = topology
+        self.engine = engine or EventQueue()
+        self._estimator = IdealEstimator()
+        self._server_free_at = 0.0
+        self._results: list[CollectiveResult] = []
+        self._subtopo_cache: dict[tuple, Topology] = {}
+
+    def _subtopology(self, request: CollectiveRequest) -> Topology:
+        key = request.communicator_key
+        if key not in self._subtopo_cache:
+            if request.dim_indices is None:
+                subtopo = self.topology
+            else:
+                subtopo = self.topology.communicator(
+                    request.dim_indices, request.peer_counts
+                )
+            self._subtopo_cache[key] = subtopo
+        return self._subtopo_cache[key]
+
+    def submit(
+        self,
+        request: CollectiveRequest,
+        at_time: float | None = None,
+        on_complete: Callable[[CollectiveResult], None] | None = None,
+    ) -> CollectiveResult:
+        issue_time = self.engine.now if at_time is None else at_time
+        result = CollectiveResult(request=request, plan=None, issue_time=issue_time)
+        self._results.append(result)
+
+        def start() -> None:
+            subtopo = self._subtopology(request)
+            service = self._estimator.collective_time(
+                request.ctype, request.size, subtopo
+            )
+            begin = max(self.engine.now, self._server_free_at)
+            finish = begin + service
+            self._server_free_at = finish
+
+            def complete() -> None:
+                result.completion_time = self.engine.now
+                if on_complete is not None:
+                    on_complete(result)
+
+            self.engine.schedule(finish, complete)
+
+        self.engine.schedule(issue_time, start)
+        return result
+
+    def run(self) -> list[CollectiveResult]:
+        self.engine.run()
+        return list(self._results)

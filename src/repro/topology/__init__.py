@@ -1,0 +1,49 @@
+"""Multi-dimensional network topologies (paper Sec. 2, Table 2)."""
+
+from .dimension import DimensionKind, DimensionSpec, dimension
+from .presets import (
+    PAPER_TOPOLOGY_NAMES,
+    current_2d,
+    get_topology,
+    paper_topologies,
+    preset_names,
+    topo_2d_sw_sw,
+    topo_3d_fc_ring_sw,
+    topo_3d_sw_sw_sw_hetero,
+    topo_3d_sw_sw_sw_homo,
+    topo_4d_ring_fc_ring_sw,
+    topo_4d_ring_sw_sw_sw,
+)
+from .serialization import (
+    dimension_from_dict,
+    dimension_to_dict,
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from .topology import Topology
+
+__all__ = [
+    "DimensionKind",
+    "DimensionSpec",
+    "dimension",
+    "Topology",
+    "dimension_to_dict",
+    "dimension_from_dict",
+    "topology_to_dict",
+    "topology_from_dict",
+    "load_topology",
+    "save_topology",
+    "PAPER_TOPOLOGY_NAMES",
+    "current_2d",
+    "get_topology",
+    "paper_topologies",
+    "preset_names",
+    "topo_2d_sw_sw",
+    "topo_3d_fc_ring_sw",
+    "topo_3d_sw_sw_sw_hetero",
+    "topo_3d_sw_sw_sw_homo",
+    "topo_4d_ring_fc_ring_sw",
+    "topo_4d_ring_sw_sw_sw",
+]

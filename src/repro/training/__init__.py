@@ -1,0 +1,12 @@
+"""End-to-end training-iteration simulation (paper Sec. 5.2 / Fig. 12)."""
+
+from .iteration import TrainingConfig, TrainingSimulator, simulate_training
+from .results import IterationBreakdown, TrainingReport
+
+__all__ = [
+    "TrainingConfig",
+    "TrainingSimulator",
+    "simulate_training",
+    "IterationBreakdown",
+    "TrainingReport",
+]

@@ -1,0 +1,320 @@
+"""End-to-end training-iteration simulator (paper Sec. 5.2 / Fig. 12).
+
+Co-simulates one NPU's compute timeline with the network simulator on a
+shared event engine:
+
+* **forward**: layers run in order; blocking model-parallel collectives
+  (Megatron-style activation All-Reduces) stall the pass; asynchronous
+  attachments (DLRM's embedding All-to-All) are issued and awaited at the
+  layer that declared the matching wait label;
+* **backward**: layers run in reverse; on completing a layer's backward
+  compute its weight gradients enter the current data-parallel bucket;
+  full buckets issue their collective immediately (overlapping with the
+  remaining backward compute);
+* **iteration end**: all outstanding data-parallel collectives are awaited
+  (ZeRO-2 additionally All-Gathers the updated parameter shards first).
+
+Stall time at waits is attributed to exposed-MP or exposed-DP, reproducing
+Fig. 12's decomposition.  The network can be the real simulator (baseline /
+Themis schedulers) or the Ideal fluid network of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.types import CollectiveRequest, CollectiveType
+from ..core.scheduler import SchedulerFactory
+from ..errors import SimulationError, WorkloadError
+from ..sim.engine import EventQueue
+from ..sim.executor import FusionConfig
+from ..sim.network import CollectiveResult, IdealNetwork, NetworkSimulator
+from ..sim.stats import bw_utilization
+from ..topology import Topology
+from ..workloads.base import Workload
+from ..workloads.compute import ComputeModel
+from ..workloads.layers import CommAttachment, Layer
+from ..workloads.parallelism import CommScope
+from .results import IterationBreakdown, TrainingReport
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Knobs of the training-loop simulation.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations to simulate (the paper's Fig. 12 shows 3).
+    compute:
+        Roofline compute model.
+    dp_bucket_bytes:
+        Gradient-bucket size for data-parallel collectives.  ``None`` issues
+        one collective per layer (ASTRA-sim-style); larger buckets coalesce
+        layers (DDP-style) which trades overlap for fewer, bigger
+        collectives.
+    chunks_per_collective:
+        Splitter granularity for the real network simulator.
+    policy / fusion:
+        Intra-dimension policy and fusion config for the network simulator.
+    overlap_dp:
+        When True (DDP-style), gradient buckets issue their collective as
+        soon as they fill during backprop, overlapping with the remaining
+        backward compute.  When False, every data-parallel collective is
+        issued at the end of back-propagation and is fully exposed — the
+        paper's accounting ("exposed communication occurs at the end of
+        back-propagation", Sec. 6.2).
+    """
+
+    iterations: int = 1
+    compute: ComputeModel = ComputeModel()
+    dp_bucket_bytes: float | None = None
+    chunks_per_collective: int = 64
+    policy: str = "SCF"
+    fusion: FusionConfig | None = None
+    overlap_dp: bool = True
+    #: Priority for blocking model-parallel collectives over background
+    #: data-parallel gradient traffic (NCCL-priority-stream style).
+    mp_priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise WorkloadError(f"need >= 1 iterations, got {self.iterations}")
+        if self.dp_bucket_bytes is not None and self.dp_bucket_bytes <= 0:
+            raise WorkloadError(
+                f"bucket bytes must be positive, got {self.dp_bucket_bytes}"
+            )
+
+
+class TrainingSimulator:
+    """Simulates training iterations of one workload on one platform."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        topology: Topology,
+        scheduler: SchedulerFactory | str = "themis",
+        config: TrainingConfig | None = None,
+        ideal_network: bool = False,
+    ) -> None:
+        self.workload = workload
+        self.topology = topology
+        self.config = config or TrainingConfig()
+        self.engine = EventQueue()
+        if ideal_network:
+            self.network: NetworkSimulator | IdealNetwork = IdealNetwork(
+                topology, engine=self.engine
+            )
+            self.scheduler_name = "Ideal"
+        else:
+            if isinstance(scheduler, str):
+                from ..core.splitter import Splitter
+
+                scheduler = SchedulerFactory(
+                    scheduler,
+                    splitter=Splitter(self.config.chunks_per_collective),
+                )
+            self.network = NetworkSimulator(
+                topology,
+                scheduler=scheduler,
+                policy=self.config.policy,
+                fusion=self.config.fusion,
+                engine=self.engine,
+            )
+            policy_tag = self.config.policy.upper()
+            base = scheduler.name
+            self.scheduler_name = (
+                f"{base}+{policy_tag}" if base == "Themis" else base
+            )
+        self.plan = workload.plan(topology)
+        self._async_handles: dict[str, CollectiveResult] = {}
+        self._dp_handles: list[CollectiveResult] = []
+        self._dp_bucket = 0.0
+        self._dp_bucket_sizes: list[float] = []
+        self._deferred_dp: list[float] = []
+        self._collectives_issued = 0
+
+    # --- low-level helpers ---------------------------------------------------
+    def _scope_fields(self, scope: CommScope | None) -> dict:
+        if scope is None or scope.dim_indices is None:
+            return {"dim_indices": None, "peer_counts": None}
+        return {
+            "dim_indices": tuple(scope.dim_indices),
+            "peer_counts": scope.peer_counts,
+        }
+
+    def _submit(
+        self, ctype: CollectiveType, size: float, scope: CommScope | None, tag: str
+    ) -> CollectiveResult:
+        priority = self.config.mp_priority if tag == "MP" else 0
+        request = CollectiveRequest(
+            ctype=ctype, size=size, tag=tag, priority=priority,
+            **self._scope_fields(scope),
+        )
+        self._collectives_issued += 1
+        return self.network.submit(request, at_time=self.engine.now)
+
+    def _advance_compute(self, duration: float) -> None:
+        """Advance the NPU's compute clock, letting network events fire."""
+        if duration < 0:
+            raise SimulationError(f"negative compute duration {duration}")
+        self.engine.run_until(self.engine.now + duration)
+
+    def _wait(self, handle: CollectiveResult) -> float:
+        """Block until a collective completes; returns the stall time."""
+        start = self.engine.now
+        while not handle.done:
+            if not self.engine.step():
+                raise SimulationError(
+                    f"deadlock waiting on collective {handle.request.tag!r}"
+                )
+        if handle.completion_time > self.engine.now:  # pragma: no cover
+            raise SimulationError("collective completed in the future")
+        # The engine may legitimately sit exactly at the completion instant.
+        end = max(start, handle.completion_time)
+        self.engine.run_until(end)
+        return end - start
+
+    # --- comm attachment handling -------------------------------------------
+    def _mp_scope(self) -> CommScope | None:
+        """Model-parallel collectives span the MP group (or all dims)."""
+        return self.plan.mp
+
+    def _handle_attachment(
+        self, attachment: CommAttachment, breakdown: IterationBreakdown
+    ) -> None:
+        handle = self._submit(
+            attachment.ctype, attachment.size, self._mp_scope(), tag="MP"
+        )
+        if attachment.blocking:
+            breakdown.exposed_mp += self._wait(handle)
+        else:
+            self._async_handles[attachment.label] = handle
+
+    def _handle_wait_label(self, label: str, breakdown: IterationBreakdown) -> None:
+        handle = self._async_handles.pop(label, None)
+        if handle is None:
+            raise SimulationError(
+                f"wait label {label!r} has no outstanding collective"
+            )
+        breakdown.exposed_mp += self._wait(handle)
+
+    # --- data-parallel gradient buckets ---------------------------------------
+    def _dp_degree(self) -> int:
+        return self.plan.dp_degree(self.topology)
+
+    def _submit_dp_bucket(self, size: float) -> None:
+        self._dp_bucket_sizes.append(size)
+        ctype = (
+            CollectiveType.REDUCE_SCATTER
+            if self.workload.dp_style == "zero2"
+            else CollectiveType.ALL_REDUCE
+        )
+        self._dp_handles.append(self._submit(ctype, size, self.plan.dp, tag="DP"))
+
+    def _flush_dp_bucket(self) -> None:
+        if self._dp_bucket <= 0 or self.plan.dp is None:
+            self._dp_bucket = 0.0
+            return
+        size = self._dp_bucket
+        self._dp_bucket = 0.0
+        if self.config.overlap_dp:
+            self._submit_dp_bucket(size)
+        else:
+            self._deferred_dp.append(size)
+
+    def _accumulate_dp(self, layer: Layer) -> None:
+        if layer.param_bytes <= 0 or self.plan.dp is None:
+            return
+        self._dp_bucket += layer.param_bytes
+        bucket_limit = self.config.dp_bucket_bytes
+        if bucket_limit is None or self._dp_bucket >= bucket_limit:
+            self._flush_dp_bucket()
+
+    def _finish_dp(self, breakdown: IterationBreakdown) -> None:
+        self._flush_dp_bucket()
+        for size in self._deferred_dp:
+            self._submit_dp_bucket(size)
+        self._deferred_dp.clear()
+        if self.workload.dp_style == "zero2" and self.plan.dp is not None:
+            # ZeRO-2: gather the updated parameter shards before the next
+            # iteration.  Each NPU holds bucket/dp_degree after the RS.
+            degree = self._dp_degree()
+            for size in self._dp_bucket_sizes:
+                self._dp_handles.append(
+                    self._submit(
+                        CollectiveType.ALL_GATHER,
+                        size / degree,
+                        self.plan.dp,
+                        tag="DP",
+                    )
+                )
+        for handle in self._dp_handles:
+            breakdown.exposed_dp += self._wait(handle)
+        self._dp_handles.clear()
+        self._dp_bucket_sizes.clear()
+
+    # --- iteration driver ------------------------------------------------------
+    def _run_iteration(self) -> IterationBreakdown:
+        breakdown = IterationBreakdown()
+        compute = self.config.compute
+
+        # Forward pass.
+        for layer in self.workload.layers:
+            if layer.fwd_wait_label:
+                self._handle_wait_label(layer.fwd_wait_label, breakdown)
+            duration = compute.time_for(layer.fwd_flops, layer.fwd_mem_bytes)
+            self._advance_compute(duration)
+            breakdown.fwd_compute += duration
+            if layer.fwd_comm is not None:
+                self._handle_attachment(layer.fwd_comm, breakdown)
+
+        # Backward pass (reverse layer order).
+        for layer in reversed(self.workload.layers):
+            if layer.bwd_wait_label:
+                self._handle_wait_label(layer.bwd_wait_label, breakdown)
+            duration = compute.time_for(layer.bwd_flops, layer.bwd_mem_bytes)
+            self._advance_compute(duration)
+            breakdown.bwd_compute += duration
+            if layer.bwd_comm is not None:
+                self._handle_attachment(layer.bwd_comm, breakdown)
+            self._accumulate_dp(layer)
+
+        # Gradient synchronization completes before the next iteration.
+        self._finish_dp(breakdown)
+        if self._async_handles:
+            raise SimulationError(
+                f"unawaited async collectives: {sorted(self._async_handles)}"
+            )
+        return breakdown
+
+    def run(self) -> TrainingReport:
+        """Simulate ``config.iterations`` iterations and report."""
+        report = TrainingReport(
+            workload_name=self.workload.name,
+            topology_name=self.topology.name,
+            scheduler_name=self.scheduler_name,
+        )
+        for _ in range(self.config.iterations):
+            report.iterations.append(self._run_iteration())
+        self.engine.run()  # drain any same-instant residue
+        report.collective_count = self._collectives_issued
+        if isinstance(self.network, NetworkSimulator) and self._collectives_issued:
+            result = self.network.result()
+            report.avg_bw_utilization = bw_utilization(result).average
+        return report
+
+
+def simulate_training(
+    workload: Workload,
+    topology: Topology,
+    scheduler: str = "themis",
+    config: TrainingConfig | None = None,
+    ideal_network: bool = False,
+) -> TrainingReport:
+    """One-call convenience wrapper around :class:`TrainingSimulator`."""
+    simulator = TrainingSimulator(
+        workload, topology, scheduler=scheduler, config=config,
+        ideal_network=ideal_network,
+    )
+    return simulator.run()

@@ -1,0 +1,106 @@
+"""Training-iteration result records (paper Fig. 12 decomposition).
+
+The paper decomposes each training iteration into four bars: forward
+compute, backward compute, exposed model-parallel communication, and
+exposed data-parallel communication.  *Exposed* communication is "the
+communication overhead of the training time where the training workload is
+waiting for the communication to be finished" — overlap with compute is
+free; only stalls count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import fmt_time
+
+
+@dataclass
+class IterationBreakdown:
+    """One training iteration's time decomposition (seconds)."""
+
+    fwd_compute: float = 0.0
+    bwd_compute: float = 0.0
+    exposed_mp: float = 0.0
+    exposed_dp: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.fwd_compute + self.bwd_compute + self.exposed_mp + self.exposed_dp
+
+    @property
+    def exposed_comm(self) -> float:
+        return self.exposed_mp + self.exposed_dp
+
+    @property
+    def compute(self) -> float:
+        return self.fwd_compute + self.bwd_compute
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict used by table renderers."""
+        return {
+            "fwd_compute": self.fwd_compute,
+            "bwd_compute": self.bwd_compute,
+            "exposed_mp": self.exposed_mp,
+            "exposed_dp": self.exposed_dp,
+            "total": self.total,
+        }
+
+    def __add__(self, other: "IterationBreakdown") -> "IterationBreakdown":
+        return IterationBreakdown(
+            fwd_compute=self.fwd_compute + other.fwd_compute,
+            bwd_compute=self.bwd_compute + other.bwd_compute,
+            exposed_mp=self.exposed_mp + other.exposed_mp,
+            exposed_dp=self.exposed_dp + other.exposed_dp,
+        )
+
+    def describe(self) -> str:
+        total = self.total
+        if total <= 0:
+            return "(empty iteration)"
+        parts = [
+            f"total {fmt_time(total)}",
+            f"fwd {fmt_time(self.fwd_compute)} ({self.fwd_compute / total:.0%})",
+            f"bwd {fmt_time(self.bwd_compute)} ({self.bwd_compute / total:.0%})",
+            f"MP comm {fmt_time(self.exposed_mp)} ({self.exposed_mp / total:.0%})",
+            f"DP comm {fmt_time(self.exposed_dp)} ({self.exposed_dp / total:.0%})",
+        ]
+        return ", ".join(parts)
+
+
+@dataclass
+class TrainingReport:
+    """Results of a multi-iteration training simulation."""
+
+    workload_name: str
+    topology_name: str
+    scheduler_name: str
+    iterations: list[IterationBreakdown] = field(default_factory=list)
+    avg_bw_utilization: float | None = None
+    collective_count: int = 0
+
+    @property
+    def total(self) -> IterationBreakdown:
+        """Sum over all simulated iterations."""
+        combined = IterationBreakdown()
+        for iteration in self.iterations:
+            combined = combined + iteration
+        return combined
+
+    @property
+    def total_time(self) -> float:
+        return self.total.total
+
+    def speedup_over(self, other: "TrainingReport") -> float:
+        """``other.total_time / self.total_time`` (how much faster *self* is)."""
+        return other.total_time / self.total_time
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.workload_name} on {self.topology_name} "
+            f"[{self.scheduler_name}]: {len(self.iterations)} iteration(s)"
+        ]
+        lines.append(f"  {self.total.describe()}")
+        if self.avg_bw_utilization is not None:
+            lines.append(f"  avg BW utilization: {self.avg_bw_utilization:.1%}")
+        return "\n".join(lines)

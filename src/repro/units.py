@@ -1,0 +1,97 @@
+"""Unit helpers: byte sizes, bandwidths, and durations.
+
+The paper quotes bandwidths in Gb/s (gigabits per second, uni-directional),
+collective sizes in MB/GB, and latencies in nanoseconds or microseconds.
+Internally the library uses a single consistent unit system:
+
+* data sizes in **bytes** (floats are allowed: chunk math divides sizes by
+  the dimension size, which rarely stays integral),
+* bandwidth in **bytes per second**,
+* time in **seconds**.
+
+This module provides constants and parsing/formatting helpers so the rest of
+the codebase and its tests never hand-roll unit conversions.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+# --- Size constants (bytes) -------------------------------------------------
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+TB = 1024.0 * GB
+
+# --- Time constants (seconds) ----------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# --- Bandwidth constants (bytes / second) ----------------------------------
+GBPS = 1e9 / 8.0  # 1 Gb/s expressed in bytes per second
+
+_SIZE_SUFFIXES = {
+    "b": 1.0,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)?\s*$")
+
+
+def parse_size(text: str | int | float) -> float:
+    """Parse a human-readable size (``"256MB"``, ``"1 GB"``, ``1024``) to bytes.
+
+    Bare numbers are interpreted as bytes.  Raises :class:`ConfigError` on
+    malformed input.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigError(f"size must be non-negative, got {text!r}")
+        return float(text)
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ConfigError(f"unparsable size: {text!r}")
+    value = float(match.group(1))
+    suffix = (match.group(2) or "b").lower()
+    if suffix not in _SIZE_SUFFIXES:
+        raise ConfigError(f"unknown size suffix {suffix!r} in {text!r}")
+    return value * _SIZE_SUFFIXES[suffix]
+
+
+def gbps(value: float) -> float:
+    """Convert a bandwidth given in Gb/s (paper units) to bytes/second."""
+    if value < 0:
+        raise ConfigError(f"bandwidth must be non-negative, got {value!r}")
+    return value * GBPS
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes/second back to Gb/s for reporting."""
+    return bytes_per_second / GBPS
+
+
+def fmt_size(num_bytes: float) -> str:
+    """Format a byte count with a binary-prefix suffix, e.g. ``"64.0MB"``."""
+    magnitude = abs(num_bytes)
+    for suffix, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if magnitude >= factor:
+            return f"{num_bytes / factor:.6g}{suffix}"
+    return f"{num_bytes:.6g}B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an appropriate SI suffix, e.g. ``"3.2ms"``."""
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.6g}s"
+    if magnitude >= MS:
+        return f"{seconds / MS:.6g}ms"
+    if magnitude >= US:
+        return f"{seconds / US:.6g}us"
+    return f"{seconds / NS:.6g}ns"

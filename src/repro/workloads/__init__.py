@@ -1,0 +1,63 @@
+"""DNN workload models (paper Sec. 5.2)."""
+
+from .base import Workload
+from .compute import A100_MEMORY_BW, A100_PEAK_FLOPS, ComputeModel
+from .dlrm import dlrm
+from .gnmt import gnmt
+from .layers import GRADIENT_BYTES, CommAttachment, Layer, total_flops, total_param_bytes
+from .parallelism import (
+    CommScope,
+    ParallelismPlan,
+    data_parallel_plan,
+    model_parallel_plan,
+    split_leading_dims,
+)
+from .resnet import resnet152
+from .transformer import MP_GROUP_SIZE, transformer_1t
+
+#: The paper's four evaluation workloads (Sec. 5.2), in Fig. 12 order.
+PAPER_WORKLOADS = ("ResNet-152", "GNMT", "DLRM", "Transformer-1T")
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a paper workload by name (case-insensitive)."""
+    from ..errors import WorkloadError
+
+    factories = {
+        "resnet-152": resnet152,
+        "resnet152": resnet152,
+        "gnmt": gnmt,
+        "dlrm": dlrm,
+        "transformer-1t": transformer_1t,
+        "transformer1t": transformer_1t,
+    }
+    key = name.strip().lower()
+    if key not in factories:
+        known = ", ".join(sorted(set(factories)))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}")
+    return factories[key](**kwargs)
+
+
+__all__ = [
+    "Workload",
+    "Layer",
+    "CommAttachment",
+    "GRADIENT_BYTES",
+    "total_flops",
+    "total_param_bytes",
+    "ComputeModel",
+    "A100_PEAK_FLOPS",
+    "A100_MEMORY_BW",
+    "CommScope",
+    "ParallelismPlan",
+    "data_parallel_plan",
+    "model_parallel_plan",
+    "split_leading_dims",
+    "resnet152",
+    "gnmt",
+    "dlrm",
+    "transformer_1t",
+    "MP_GROUP_SIZE",
+    "PAPER_WORKLOADS",
+    "get_workload",
+]

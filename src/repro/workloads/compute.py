@@ -1,0 +1,62 @@
+"""Roofline compute model (paper Sec. 5.1).
+
+"For compute times (in the case of real workloads) we assumed roofline FP16
+performance from the total FLOPS available on current state-of-the-art
+accelerators [13]" — reference [13] is the NVIDIA A100 (312 TFLOP/s FP16
+tensor-core peak, ~2 TB/s HBM).
+
+The model is the classic two-term roofline: an operation of ``flops``
+floating-point operations touching ``bytes`` of memory takes::
+
+    time = max(flops / (peak_flops x efficiency),
+               bytes / (memory_bw x efficiency))
+
+``efficiency`` defaults to 1.0 — the paper assumes ideal roofline — but is
+configurable for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: NVIDIA A100 FP16 tensor-core peak (FLOP/s).
+A100_PEAK_FLOPS = 312e12
+#: NVIDIA A100 80GB HBM2e bandwidth (bytes/s).
+A100_MEMORY_BW = 2.0e12
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Roofline FP16 compute-time estimator for one NPU."""
+
+    peak_flops: float = A100_PEAK_FLOPS
+    memory_bw: float = A100_MEMORY_BW
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ConfigError(f"peak FLOPS must be positive, got {self.peak_flops}")
+        if self.memory_bw <= 0:
+            raise ConfigError(f"memory BW must be positive, got {self.memory_bw}")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    def time_for(self, flops: float, bytes_accessed: float = 0.0) -> float:
+        """Roofline execution time (seconds) for one kernel."""
+        if flops < 0 or bytes_accessed < 0:
+            raise ConfigError("flops and bytes must be non-negative")
+        compute_time = flops / (self.peak_flops * self.efficiency)
+        memory_time = bytes_accessed / (self.memory_bw * self.efficiency)
+        return max(compute_time, memory_time)
+
+    def is_memory_bound(self, flops: float, bytes_accessed: float) -> bool:
+        """True when the kernel's arithmetic intensity is below the ridge."""
+        if bytes_accessed == 0:
+            return False
+        intensity = flops / bytes_accessed
+        ridge = self.peak_flops / self.memory_bw
+        return intensity < ridge

@@ -1,0 +1,133 @@
+"""GNMT workload builder (Wu et al. [64]; paper Sec. 5.2).
+
+Google's Neural Machine Translation model: an 8-layer LSTM encoder (first
+layer bidirectional), an 8-layer LSTM decoder with additive attention, tied
+1024-wide hidden states, and a 32k-vocabulary softmax classifier.
+
+Parallelization: pure data-parallel, per-NPU mini-batch 128 (paper).  The
+builder derives parameters and FLOPs from the LSTM closed forms:
+
+* LSTM layer params = 4 x ((input + hidden) x hidden + hidden)
+* LSTM layer FLOPs  = 2 x params x batch x seq_len
+
+yielding ~220M parameters (~440 MB of FP16 gradients) for the defaults.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+from .layers import GRADIENT_BYTES, Layer
+
+
+def _lstm_params(input_size: int, hidden: int) -> float:
+    """Parameter count of one LSTM layer (4 gates, input + recurrent + bias)."""
+    return 4.0 * ((input_size + hidden) * hidden + hidden)
+
+
+def _lstm_layer(
+    name: str,
+    input_size: int,
+    hidden: int,
+    batch: float,
+    seq_len: float,
+    directions: int = 1,
+) -> Layer:
+    params = directions * _lstm_params(input_size, hidden)
+    fwd_flops = 2.0 * params * batch * seq_len
+    weight_bytes = params * GRADIENT_BYTES
+    act_bytes = directions * batch * seq_len * hidden * GRADIENT_BYTES
+    return Layer(
+        name=name,
+        fwd_flops=fwd_flops,
+        bwd_flops=2.0 * fwd_flops,
+        param_bytes=weight_bytes,
+        fwd_mem_bytes=weight_bytes + act_bytes,
+        bwd_mem_bytes=2.0 * (weight_bytes + act_bytes),
+    )
+
+
+def gnmt(
+    batch_per_npu: int = 128,
+    hidden: int = 1024,
+    vocab: int = 32_000,
+    seq_len: int = 50,
+    encoder_layers: int = 8,
+    decoder_layers: int = 8,
+) -> Workload:
+    """Build the GNMT workload (per-NPU batch 128 as in the paper)."""
+    batch = float(batch_per_npu)
+    layers: list[Layer] = []
+
+    # Source embedding: a memory-bound gather.
+    emb_params = vocab * hidden
+    emb_bytes = batch * seq_len * hidden * GRADIENT_BYTES
+    layers.append(
+        Layer(
+            name="enc_embedding",
+            fwd_flops=0.0,
+            bwd_flops=0.0,
+            param_bytes=emb_params * GRADIENT_BYTES,
+            fwd_mem_bytes=2.0 * emb_bytes,
+            bwd_mem_bytes=2.0 * emb_bytes,
+        )
+    )
+    # Encoder: bidirectional first layer, then 7 unidirectional layers
+    # (layer 2 consumes the concatenated 2 x hidden bidirectional output).
+    layers.append(
+        _lstm_layer("enc_lstm1", hidden, hidden, batch, seq_len, directions=2)
+    )
+    for index in range(2, encoder_layers + 1):
+        input_size = 2 * hidden if index == 2 else hidden
+        layers.append(_lstm_layer(f"enc_lstm{index}", input_size, hidden, batch, seq_len))
+
+    # Target embedding.
+    layers.append(
+        Layer(
+            name="dec_embedding",
+            fwd_flops=0.0,
+            bwd_flops=0.0,
+            param_bytes=emb_params * GRADIENT_BYTES,
+            fwd_mem_bytes=2.0 * emb_bytes,
+            bwd_mem_bytes=2.0 * emb_bytes,
+        )
+    )
+    # Additive attention over encoder states.
+    attn_params = 2 * hidden * hidden + hidden
+    attn_flops = 2.0 * batch * seq_len * seq_len * hidden
+    layers.append(
+        Layer(
+            name="attention",
+            fwd_flops=attn_flops + 2.0 * attn_params * batch * seq_len,
+            bwd_flops=2.0 * (attn_flops + 2.0 * attn_params * batch * seq_len),
+            param_bytes=attn_params * GRADIENT_BYTES,
+            fwd_mem_bytes=attn_params * GRADIENT_BYTES + emb_bytes,
+            bwd_mem_bytes=2.0 * (attn_params * GRADIENT_BYTES + emb_bytes),
+        )
+    )
+    # Decoder: first layer consumes embedding + attention context.
+    for index in range(1, decoder_layers + 1):
+        input_size = 2 * hidden if index == 1 else hidden
+        layers.append(_lstm_layer(f"dec_lstm{index}", input_size, hidden, batch, seq_len))
+
+    # Output projection / softmax classifier.
+    proj_params = hidden * vocab + vocab
+    proj_flops = 2.0 * batch * seq_len * hidden * vocab
+    layers.append(
+        Layer(
+            name="classifier",
+            fwd_flops=proj_flops,
+            bwd_flops=2.0 * proj_flops,
+            param_bytes=proj_params * GRADIENT_BYTES,
+            fwd_mem_bytes=proj_params * GRADIENT_BYTES,
+            bwd_mem_bytes=2.0 * proj_params * GRADIENT_BYTES,
+        )
+    )
+
+    return Workload(
+        name="GNMT",
+        layers=layers,
+        batch_per_npu=batch_per_npu,
+        mp_group_size=None,
+        dp_style="allreduce",
+        notes="pure data-parallel; 8+8 LSTM layers, 32k vocab",
+    )

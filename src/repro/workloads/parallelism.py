@@ -1,0 +1,158 @@
+"""Parallelization plans: mapping DP/MP communicators onto topology dims.
+
+The paper's workloads use (Sec. 5.2):
+
+* ResNet-152, GNMT — pure data-parallel over all 1024 NPUs (collectives
+  span every network dimension);
+* DLRM — data-parallel MLPs (all dims) + model-parallel embeddings whose
+  All-to-All also spans all NPUs;
+* Transformer-1T — model-parallel across the first dimensions up to 128
+  NPUs, data-parallel across the rest ("the data-parallel communication of
+  Transformer-1T uses only the last network dimension in all of the
+  topologies").
+
+:func:`split_leading_dims` computes the MP/DP communicator scopes for a
+target group size, splitting a physical dimension's peers when the group
+boundary falls inside it (e.g. 128-way MP on 16x64 = dim1 x 8-of-dim2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..topology import Topology
+
+
+@dataclass(frozen=True)
+class CommScope:
+    """Which dimensions (and how many peers of each) a communicator spans.
+
+    ``dim_indices is None`` means the full topology.  Mirrors the
+    ``CollectiveRequest`` addressing fields.
+    """
+
+    dim_indices: tuple[int, ...] | None = None
+    peer_counts: tuple[int, ...] | None = None
+
+    def degree(self, topology: Topology) -> int:
+        """Number of NPUs participating in this communicator."""
+        if self.dim_indices is None:
+            return topology.npus
+        if self.peer_counts is not None:
+            return math.prod(self.peer_counts)
+        return math.prod(topology.dims[i].size for i in self.dim_indices)
+
+    def describe(self, topology: Topology) -> str:
+        if self.dim_indices is None:
+            return f"all dims ({topology.npus} NPUs)"
+        counts = self.peer_counts or tuple(
+            topology.dims[i].size for i in self.dim_indices
+        )
+        dims = ", ".join(
+            f"dim{i + 1}:{c}" for i, c in zip(self.dim_indices, counts)
+        )
+        return f"[{dims}] ({self.degree(topology)} NPUs)"
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """The communicator layout of one workload on one topology."""
+
+    dp: CommScope | None
+    mp: CommScope | None
+    description: str = ""
+
+    def dp_degree(self, topology: Topology) -> int:
+        return self.dp.degree(topology) if self.dp else 1
+
+    def mp_degree(self, topology: Topology) -> int:
+        return self.mp.degree(topology) if self.mp else 1
+
+
+def data_parallel_plan() -> ParallelismPlan:
+    """Pure data parallelism: gradients All-Reduce over every dimension."""
+    return ParallelismPlan(
+        dp=CommScope(), mp=None, description="data-parallel over all dims"
+    )
+
+
+def split_leading_dims(topology: Topology, group_size: int) -> tuple[CommScope, CommScope]:
+    """Split the platform into (MP scope, DP scope) at ``group_size`` NPUs.
+
+    The MP group packs the first dimensions; if the boundary falls inside a
+    dimension, that dimension's peers are split between MP and DP (both
+    scopes keep the dimension's physical BW/latency).  The DP scope covers
+    the remaining peers/dimensions.
+    """
+    if group_size < 2:
+        raise WorkloadError(f"model-parallel group size must be >= 2, got {group_size}")
+    if topology.npus % group_size != 0:
+        raise WorkloadError(
+            f"group size {group_size} does not divide {topology.npus} NPUs"
+        )
+
+    mp_dims: list[int] = []
+    mp_counts: list[int] = []
+    remaining = group_size
+    boundary_dim: int | None = None
+    boundary_dp_peers = 1
+    for index, dim in enumerate(topology.dims):
+        if remaining == 1:
+            break
+        if dim.size <= remaining:
+            if remaining % dim.size != 0:
+                raise WorkloadError(
+                    f"group size {group_size} incompatible with dimension "
+                    f"sizes {topology.shape}"
+                )
+            mp_dims.append(index)
+            mp_counts.append(dim.size)
+            remaining //= dim.size
+        else:
+            if dim.size % remaining != 0:
+                raise WorkloadError(
+                    f"group size {group_size} incompatible with dimension "
+                    f"sizes {topology.shape}"
+                )
+            mp_dims.append(index)
+            mp_counts.append(remaining)
+            boundary_dim = index
+            boundary_dp_peers = dim.size // remaining
+            remaining = 1
+    if remaining != 1:
+        raise WorkloadError(
+            f"group size {group_size} exceeds platform size {topology.npus}"
+        )
+
+    dp_dims: list[int] = []
+    dp_counts: list[int] = []
+    if boundary_dim is not None and boundary_dp_peers > 1:
+        dp_dims.append(boundary_dim)
+        dp_counts.append(boundary_dp_peers)
+    first_unused = (mp_dims[-1] + 1) if mp_dims else 0
+    for index in range(first_unused, topology.ndims):
+        dp_dims.append(index)
+        dp_counts.append(topology.dims[index].size)
+
+    if not dp_dims:
+        raise WorkloadError(
+            f"group size {group_size} leaves no NPUs for data parallelism"
+        )
+    mp_scope = CommScope(tuple(mp_dims), tuple(mp_counts))
+    dp_scope = CommScope(tuple(dp_dims), tuple(dp_counts))
+    return mp_scope, dp_scope
+
+
+def model_parallel_plan(topology: Topology, group_size: int) -> ParallelismPlan:
+    """MP over the leading ``group_size`` NPUs, DP over the rest."""
+    mp_scope, dp_scope = split_leading_dims(topology, group_size)
+    return ParallelismPlan(
+        dp=dp_scope,
+        mp=mp_scope,
+        description=(
+            f"model-parallel {mp_scope.describe(topology)}, "
+            f"data-parallel {dp_scope.describe(topology)}"
+        ),
+    )

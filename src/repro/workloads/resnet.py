@@ -1,0 +1,123 @@
+"""ResNet-152 workload builder (He et al. [37]; paper Sec. 5.2).
+
+Builds the standard ImageNet ResNet-152 layer by layer from first
+principles (conv shapes -> params & FLOPs), grouped at bottleneck-block
+granularity, which is how gradient buckets form during backprop.
+
+Parallelization: pure data-parallel (the model fits on one NPU), per-NPU
+mini-batch 32, FP16 gradients — per the paper.  Total parameters come out
+at ~60.2M (the canonical ResNet-152 count), i.e. ~120 MB of gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Workload
+from .layers import GRADIENT_BYTES, Layer
+
+#: torchvision-style stage specification: (blocks, mid_channels, out_channels).
+_RESNET152_STAGES: tuple[tuple[int, int, int], ...] = (
+    (3, 64, 256),
+    (8, 128, 512),
+    (36, 256, 1024),
+    (3, 512, 2048),
+)
+
+
+@dataclass(frozen=True)
+class _ConvCost:
+    """Accumulated params / FLOPs / activation traffic of a conv stack."""
+
+    params: float = 0.0
+    mac_flops: float = 0.0
+    act_bytes: float = 0.0
+
+    def __add__(self, other: "_ConvCost") -> "_ConvCost":
+        return _ConvCost(
+            self.params + other.params,
+            self.mac_flops + other.mac_flops,
+            self.act_bytes + other.act_bytes,
+        )
+
+
+def _conv(cin: int, cout: int, kernel: int, h_out: int, w_out: int) -> _ConvCost:
+    """Cost of one conv layer: 2 x MACs FLOPs, weight + output-act bytes."""
+    params = cin * cout * kernel * kernel
+    macs = params * h_out * w_out
+    act = h_out * w_out * cout * GRADIENT_BYTES
+    return _ConvCost(params=params, mac_flops=2.0 * macs, act_bytes=act)
+
+
+def _bottleneck(cin: int, mid: int, cout: int, stride: int, spatial_in: int) -> _ConvCost:
+    """One bottleneck block: 1x1 -> 3x3(stride) -> 1x1 (+ projection)."""
+    spatial_out = spatial_in // stride
+    cost = _conv(cin, mid, 1, spatial_in, spatial_in)
+    cost = cost + _conv(mid, mid, 3, spatial_out, spatial_out)
+    cost = cost + _conv(mid, cout, 1, spatial_out, spatial_out)
+    if stride != 1 or cin != cout:
+        cost = cost + _conv(cin, cout, 1, spatial_out, spatial_out)
+    return cost
+
+
+def resnet152(batch_per_npu: int = 32, image_size: int = 224) -> Workload:
+    """Build the ResNet-152 workload (per-NPU batch 32 as in the paper)."""
+    layers: list[Layer] = []
+    batch = float(batch_per_npu)
+
+    # Stem: 7x7/2 conv + 3x3/2 max-pool.
+    spatial = image_size // 2
+    stem = _conv(3, 64, 7, spatial, spatial)
+    layers.append(
+        Layer(
+            name="conv1",
+            fwd_flops=batch * stem.mac_flops,
+            bwd_flops=2.0 * batch * stem.mac_flops,
+            param_bytes=stem.params * GRADIENT_BYTES,
+            fwd_mem_bytes=batch * stem.act_bytes + stem.params * GRADIENT_BYTES,
+            bwd_mem_bytes=2.0 * (batch * stem.act_bytes + stem.params * GRADIENT_BYTES),
+        )
+    )
+    spatial //= 2  # max-pool
+
+    cin = 64
+    for stage_index, (blocks, mid, cout) in enumerate(_RESNET152_STAGES, start=2):
+        for block_index in range(blocks):
+            stride = 2 if (block_index == 0 and stage_index > 2) else 1
+            cost = _bottleneck(cin, mid, cout, stride, spatial)
+            spatial //= stride
+            layers.append(
+                Layer(
+                    name=f"conv{stage_index}_{block_index + 1}",
+                    fwd_flops=batch * cost.mac_flops,
+                    bwd_flops=2.0 * batch * cost.mac_flops,
+                    param_bytes=cost.params * GRADIENT_BYTES,
+                    fwd_mem_bytes=batch * cost.act_bytes
+                    + cost.params * GRADIENT_BYTES,
+                    bwd_mem_bytes=2.0
+                    * (batch * cost.act_bytes + cost.params * GRADIENT_BYTES),
+                )
+            )
+            cin = cout
+
+    # Classifier: global-average-pool + 2048 -> 1000 FC.
+    fc_params = 2048 * 1000 + 1000
+    layers.append(
+        Layer(
+            name="fc",
+            fwd_flops=batch * 2.0 * 2048 * 1000,
+            bwd_flops=2.0 * batch * 2.0 * 2048 * 1000,
+            param_bytes=fc_params * GRADIENT_BYTES,
+            fwd_mem_bytes=fc_params * GRADIENT_BYTES,
+            bwd_mem_bytes=2.0 * fc_params * GRADIENT_BYTES,
+        )
+    )
+
+    return Workload(
+        name="ResNet-152",
+        layers=layers,
+        batch_per_npu=batch_per_npu,
+        mp_group_size=None,
+        dp_style="allreduce",
+        notes="pure data-parallel; ~60.2M params (~120MB FP16 gradients)",
+    )

@@ -1,0 +1,130 @@
+"""Transformer-1T workload builder (paper Sec. 5.2, [18]).
+
+A one-trillion-parameter dense Transformer at Megatron-1T scale: 128
+layers, hidden 25600 (12 x L x h^2 ~ 1.007e12 parameters).  Per the paper:
+
+* **model-parallel across the first dimensions up to 128 NPUs** — tensor
+  parallelism; every attention and MLP sub-layer All-Reduces its output
+  activations across the MP group in both forward and backward passes
+  (blocking, Megatron-style);
+* **data-parallel across the remaining dimensions** — and since the MP
+  group consumes the leading dims, "the data-parallel communication of
+  Transformer-1T uses only the last network dimension";
+* **ZeRO stage-2** for the optimizer: gradients Reduce-Scatter across the
+  DP group during backprop and updated parameters All-Gather at the end of
+  the iteration (``dp_style="zero2"``).
+
+Per-NPU mini-batch is 16 (paper).  Parameter/FLOP counts are per NPU, i.e.
+after 128-way tensor-parallel sharding.
+"""
+
+from __future__ import annotations
+
+from ..collectives.types import CollectiveType
+from ..errors import WorkloadError
+from .base import Workload
+from .layers import GRADIENT_BYTES, CommAttachment, Layer
+
+#: Paper's model-parallel group size for Transformer-1T.
+MP_GROUP_SIZE = 128
+
+
+def transformer_1t(
+    batch_per_npu: int = 16,
+    hidden: int = 25_600,
+    num_layers: int = 128,
+    seq_len: int = 2048,
+    vocab: int = 51_200,
+    mp_group_size: int = MP_GROUP_SIZE,
+) -> Workload:
+    """Build the Transformer-1T workload (1.0e12 dense parameters)."""
+    if mp_group_size < 2:
+        raise WorkloadError(f"MP group must be >= 2, got {mp_group_size}")
+    batch = float(batch_per_npu)
+
+    # Megatron tensor parallelism: the activation All-Reduce payload is the
+    # full (batch x seq x hidden) tensor at FP16.
+    activation_bytes = batch * seq_len * hidden * GRADIENT_BYTES
+    mp_ar = CommAttachment(CollectiveType.ALL_REDUCE, activation_bytes, blocking=True)
+
+    layers: list[Layer] = []
+
+    # Token + position embeddings (sharded over the MP group).
+    emb_params = (vocab + seq_len) * hidden / mp_group_size
+    emb_bytes = batch * seq_len * hidden * GRADIENT_BYTES
+    layers.append(
+        Layer(
+            name="embedding",
+            fwd_flops=0.0,
+            bwd_flops=0.0,
+            param_bytes=emb_params * GRADIENT_BYTES,
+            fwd_mem_bytes=2.0 * emb_bytes,
+            bwd_mem_bytes=2.0 * emb_bytes,
+        )
+    )
+
+    tokens = batch * seq_len
+    for index in range(1, num_layers + 1):
+        # Self-attention: 4 h^2 params; QKV + scores + context + output.
+        attn_params = 4.0 * hidden * hidden / mp_group_size
+        attn_flops = (
+            2.0 * attn_params * tokens
+            + 4.0 * batch * seq_len * seq_len * hidden / mp_group_size
+        )
+        layers.append(
+            Layer(
+                name=f"layer{index}_attn",
+                fwd_flops=attn_flops,
+                bwd_flops=2.0 * attn_flops,
+                param_bytes=attn_params * GRADIENT_BYTES,
+                fwd_mem_bytes=attn_params * GRADIENT_BYTES + emb_bytes,
+                bwd_mem_bytes=2.0 * (attn_params * GRADIENT_BYTES + emb_bytes),
+                fwd_comm=mp_ar,
+                bwd_comm=mp_ar,
+            )
+        )
+        # MLP: 8 h^2 params (4h expansion).
+        mlp_params = 8.0 * hidden * hidden / mp_group_size
+        mlp_flops = 2.0 * mlp_params * tokens
+        layers.append(
+            Layer(
+                name=f"layer{index}_mlp",
+                fwd_flops=mlp_flops,
+                bwd_flops=2.0 * mlp_flops,
+                param_bytes=mlp_params * GRADIENT_BYTES,
+                fwd_mem_bytes=mlp_params * GRADIENT_BYTES + emb_bytes,
+                bwd_mem_bytes=2.0 * (mlp_params * GRADIENT_BYTES + emb_bytes),
+                fwd_comm=mp_ar,
+                bwd_comm=mp_ar,
+            )
+        )
+
+    # Output projection to the vocabulary (sharded).
+    proj_params = hidden * vocab / mp_group_size
+    proj_flops = 2.0 * proj_params * tokens
+    layers.append(
+        Layer(
+            name="lm_head",
+            fwd_flops=proj_flops,
+            bwd_flops=2.0 * proj_flops,
+            param_bytes=proj_params * GRADIENT_BYTES,
+            fwd_mem_bytes=proj_params * GRADIENT_BYTES,
+            bwd_mem_bytes=2.0 * proj_params * GRADIENT_BYTES,
+            fwd_comm=mp_ar,
+            bwd_comm=mp_ar,
+        )
+    )
+
+    global_params = 12.0 * num_layers * hidden * hidden + (vocab + seq_len) * hidden
+    return Workload(
+        name="Transformer-1T",
+        layers=layers,
+        batch_per_npu=batch_per_npu,
+        mp_group_size=mp_group_size,
+        dp_style="zero2",
+        notes=(
+            f"{global_params / 1e12:.2f}T global params, "
+            f"{mp_group_size}-way tensor parallel + ZeRO-2 DP; "
+            f"MP All-Reduce {activation_bytes / 2 ** 20:.0f} MiB/sub-layer"
+        ),
+    )

@@ -1,0 +1,67 @@
+"""CLI smoke tests: every subcommand runs and prints sane output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_collective_defaults(self):
+        args = build_parser().parse_args(["collective"])
+        assert args.topology == "3D-SW_SW_SW_homo"
+        assert args.size == "1GB"
+        assert args.chunks == 64
+
+
+class TestCommands:
+    def test_topologies(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "2D-SW_SW" in out and "4D-Ring_FC_Ring_SW" in out
+
+    def test_collective(self, capsys):
+        code = main(
+            ["collective", "--topology", "3D-SW_SW_SW_homo",
+             "--size", "64MB", "--chunks", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "Themis+SCF" in out
+
+    def test_collective_rs(self, capsys):
+        assert main(
+            ["collective", "--size", "32MB", "--type", "rs", "--chunks", "4"]
+        ) == 0
+        assert "ReduceScatter" in capsys.readouterr().out
+
+    def test_collective_bad_topology(self, capsys):
+        assert main(["collective", "--topology", "9D-magic"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_train(self, capsys):
+        code = main(
+            ["train", "--workload", "dlrm", "--topology", "2D-SW_SW",
+             "--iterations", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DLRM" in out and "Ideal" in out
+
+    def test_provisioning(self, capsys):
+        assert main(["provisioning", "--topology", "3D-SW_SW_SW_hetero"]) == 0
+        out = capsys.readouterr().out
+        assert "max drivable utilization" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig", "5"]) == 0
+        assert "paper: 8" in capsys.readouterr().out
+
+    def test_fig_unknown(self, capsys):
+        assert main(["fig", "99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

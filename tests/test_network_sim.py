@@ -1,0 +1,279 @@
+"""End-to-end network simulator tests, including the Fig. 5 golden case."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import CollectiveRequest, CollectiveType
+from repro.core import SchedulerFactory, Splitter
+from repro.errors import SimulationError
+from repro.sim import (
+    EventQueue,
+    FusionConfig,
+    IdealNetwork,
+    NetworkSimulator,
+    bw_utilization,
+)
+from repro.units import MB
+
+
+def run_single(
+    topology,
+    kind="themis",
+    policy="SCF",
+    chunks=4,
+    size=256 * MB,
+    ctype=CollectiveType.ALL_REDUCE,
+    fusion=FusionConfig(enabled=False),
+    **kwargs,
+):
+    sim = NetworkSimulator(
+        topology,
+        SchedulerFactory(kind, splitter=Splitter(chunks)),
+        policy=policy,
+        fusion=fusion,
+        **kwargs,
+    )
+    sim.submit(CollectiveRequest(ctype, size))
+    return sim.run()
+
+
+class TestFig5Golden:
+    """The paper's worked example: baseline 8 units vs Themis 7 units."""
+
+    def unit(self, topo):
+        return 48 * MB / topo.dims[0].bandwidth
+
+    def test_baseline_takes_8_units(self, fig5_topology):
+        result = run_single(fig5_topology, "baseline", "FIFO")
+        assert result.makespan / self.unit(fig5_topology) == pytest.approx(8.0)
+
+    def test_themis_scf_takes_7_units(self, fig5_topology):
+        result = run_single(fig5_topology, "themis", "SCF")
+        assert result.makespan / self.unit(fig5_topology) == pytest.approx(7.0)
+
+    def test_themis_beats_baseline(self, fig5_topology):
+        baseline = run_single(fig5_topology, "baseline", "FIFO")
+        themis = run_single(fig5_topology, "themis", "SCF")
+        assert themis.makespan < baseline.makespan
+
+    def test_dim1_fully_busy_in_baseline(self, fig5_topology):
+        """In the baseline pipeline dim1 never idles (it is the bottleneck)."""
+        result = run_single(fig5_topology, "baseline", "FIFO")
+        assert result.dim_transfer_seconds[0] == pytest.approx(result.makespan)
+
+    def test_baseline_dim2_half_utilized(self, fig5_topology):
+        result = run_single(fig5_topology, "baseline", "FIFO")
+        report = bw_utilization(result)
+        assert report.per_dim[0] == pytest.approx(1.0)
+        assert report.per_dim[1] == pytest.approx(0.5)
+
+    def test_op_count(self, fig5_topology):
+        result = run_single(fig5_topology, "themis", "SCF")
+        assert len(result.records) == 4 * 4  # 4 chunks x 4 stages
+
+
+class TestExecutionBasics:
+    def test_all_stage_dependencies_respected(self, asymmetric_3d):
+        result = run_single(asymmetric_3d, "themis", "SCF", chunks=8)
+        by_chunk: dict[int, list] = {}
+        for record in result.records:
+            by_chunk.setdefault(record.chunk_id, []).append(record)
+        for records in by_chunk.values():
+            records.sort(key=lambda r: r.stage_index)
+            for prev, nxt in zip(records, records[1:]):
+                assert nxt.start_time >= prev.end_time - 1e-12
+
+    def test_wire_occupancy_never_overlaps(self, asymmetric_3d):
+        """Transfers serialize on each dimension's wire; only the fixed
+        latency tail (the pipeline shadow) may overlap the next op."""
+        result = run_single(asymmetric_3d, "themis", "SCF", chunks=8)
+        for dim in range(asymmetric_3d.ndims):
+            ops = sorted(
+                (r for r in result.records if r.dim_index == dim),
+                key=lambda r: r.start_time,
+            )
+            for prev, nxt in zip(ops, ops[1:]):
+                same_batch = prev.start_time == nxt.start_time
+                wire_free = prev.start_time + prev.transfer_time
+                assert same_batch or nxt.start_time >= wire_free - 1e-12
+
+    def test_op_end_includes_fixed_latency(self, asymmetric_3d):
+        result = run_single(asymmetric_3d, "baseline", "FIFO", chunks=2)
+        for record in result.records:
+            assert record.end_time == pytest.approx(
+                record.start_time + record.fixed_time + record.transfer_time
+            )
+
+    def test_bytes_conservation(self, asymmetric_3d):
+        """Total bytes on the wire equal the schedule's invariant volume."""
+        from repro.collectives import invariant_bytes_per_npu
+
+        result = run_single(asymmetric_3d, "baseline", "FIFO", chunks=8)
+        expected = invariant_bytes_per_npu(
+            CollectiveType.ALL_REDUCE, 256 * MB, asymmetric_3d
+        )
+        assert sum(result.dim_bytes) == pytest.approx(expected)
+
+    def test_themis_bytes_exceed_invariant_when_rebalancing(self, fig5_topology):
+        """Dynamic orders trade extra bytes on fat dims for balance.
+
+        For All-Reduce the per-NPU byte volume is schedule-invariant, so
+        even Themis moves exactly the invariant volume.
+        """
+        from repro.collectives import invariant_bytes_per_npu
+
+        result = run_single(fig5_topology, "themis", "SCF")
+        expected = invariant_bytes_per_npu(
+            CollectiveType.ALL_REDUCE, 256 * MB, fig5_topology
+        )
+        assert sum(result.dim_bytes) == pytest.approx(expected)
+
+    def test_collective_result_filled(self, asymmetric_3d):
+        result = run_single(asymmetric_3d)
+        assert len(result.collectives) == 1
+        summary = result.collectives[0]
+        assert summary.done
+        assert summary.duration == pytest.approx(result.makespan)
+        assert summary.plan is not None
+
+    def test_no_submission_is_error(self, asymmetric_3d):
+        sim = NetworkSimulator(asymmetric_3d)
+        with pytest.raises(SimulationError):
+            sim.result()
+
+
+class TestConcurrentCollectives:
+    def test_two_collectives_share_channels(self, asymmetric_3d):
+        sim = NetworkSimulator(
+            asymmetric_3d,
+            SchedulerFactory("themis", splitter=Splitter(4)),
+            policy="SCF",
+        )
+        first = sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        second = sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB), at_time=1e-4
+        )
+        sim.run()
+        assert first.done and second.done
+        assert second.completion_time >= first.issue_time
+
+    def test_sequential_collectives_give_comm_active_gaps(self, asymmetric_3d):
+        sim = NetworkSimulator(
+            asymmetric_3d, SchedulerFactory("themis", splitter=Splitter(2))
+        )
+        first = sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        sim.run()  # finish the first completely
+        gap_start = sim.engine.now
+        sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB),
+            at_time=gap_start + 1.0,
+        )
+        result = sim.run()
+        # Active time excludes the idle gap between the two collectives.
+        assert result.comm_active_seconds < result.makespan
+        assert result.comm_active_seconds == pytest.approx(
+            sum(iv.length for iv in result.comm_active_intervals)
+        )
+        assert first.done
+
+    def test_completion_callback_invoked(self, asymmetric_3d):
+        sim = NetworkSimulator(asymmetric_3d)
+        seen = []
+        sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB),
+            on_complete=lambda res: seen.append(res.completion_time),
+        )
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0] == pytest.approx(sim.engine.now)
+
+
+class TestSubTopologyCollectives:
+    def test_last_dim_only(self, asymmetric_3d):
+        """A collective restricted to dim3 only touches dim3's channel."""
+        sim = NetworkSimulator(asymmetric_3d, SchedulerFactory("themis"))
+        sim.submit(
+            CollectiveRequest(
+                CollectiveType.ALL_REDUCE, 64 * MB, dim_indices=(2,)
+            )
+        )
+        result = sim.run()
+        assert result.dim_bytes[0] == 0.0
+        assert result.dim_bytes[1] == 0.0
+        assert result.dim_bytes[2] > 0.0
+
+    def test_two_of_three_dims(self, asymmetric_3d):
+        sim = NetworkSimulator(asymmetric_3d, SchedulerFactory("themis"))
+        sim.submit(
+            CollectiveRequest(
+                CollectiveType.ALL_REDUCE, 64 * MB, dim_indices=(0, 1)
+            )
+        )
+        result = sim.run()
+        assert result.dim_bytes[2] == 0.0
+        assert result.dim_bytes[0] > 0 and result.dim_bytes[1] > 0
+
+    def test_subset_invariant_bytes(self, asymmetric_3d):
+        from repro.collectives import invariant_bytes_per_npu
+
+        sub = asymmetric_3d.subset([0, 1])
+        sim = NetworkSimulator(asymmetric_3d, SchedulerFactory("baseline"))
+        sim.submit(
+            CollectiveRequest(
+                CollectiveType.ALL_REDUCE, 64 * MB, dim_indices=(0, 1)
+            )
+        )
+        result = sim.run()
+        expected = invariant_bytes_per_npu(CollectiveType.ALL_REDUCE, 64 * MB, sub)
+        assert sum(result.dim_bytes) == pytest.approx(expected)
+
+
+class TestSharedEngine:
+    def test_external_engine_clock_shared(self, asymmetric_3d):
+        engine = EventQueue()
+        sim = NetworkSimulator(asymmetric_3d, engine=engine)
+        marks = []
+        engine.schedule(0.0, lambda: marks.append(engine.now))
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        engine.run()
+        result = sim.result()
+        assert marks == [0.0]
+        assert result.makespan > 0
+
+
+class TestIdealNetwork:
+    def test_single_collective_time(self, asymmetric_3d):
+        from repro.core import IdealEstimator
+
+        net = IdealNetwork(asymmetric_3d)
+        res = net.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        net.run()
+        expected = IdealEstimator().collective_time(
+            CollectiveType.ALL_REDUCE, 64 * MB, asymmetric_3d
+        )
+        assert res.duration == pytest.approx(expected)
+
+    def test_ideal_not_slower_than_simulated(self, homo_3d):
+        net = IdealNetwork(homo_3d)
+        res = net.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 256 * MB))
+        net.run()
+        sim_result = run_single(
+            homo_3d, "themis", "SCF", chunks=64, fusion=FusionConfig()
+        )
+        assert res.duration <= sim_result.makespan * (1 + 1e-9)
+
+    def test_fifo_serialization(self, asymmetric_3d):
+        net = IdealNetwork(asymmetric_3d)
+        first = net.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        second = net.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        net.run()
+        assert second.completion_time == pytest.approx(2 * first.duration)
+
+    def test_subset_dims(self, asymmetric_3d):
+        net = IdealNetwork(asymmetric_3d)
+        res = net.submit(
+            CollectiveRequest(CollectiveType.ALL_GATHER, 8 * MB, dim_indices=(2,))
+        )
+        net.run()
+        assert res.done and res.duration > 0

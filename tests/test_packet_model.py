@@ -1,0 +1,180 @@
+"""Packet/goodput model: header-to-packet ratio effects (paper Sec. 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import CollectiveRequest, CollectiveType, PhaseOp, RingAlgorithm
+from repro.core import SchedulerFactory, Splitter
+from repro.errors import TopologyError
+from repro.sim import NetworkSimulator, bw_utilization
+from repro.topology import (
+    DimensionSpec,
+    DimensionKind,
+    Topology,
+    dimension,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.units import KB, MB
+
+#: InfiniBand-ish parameters: 4 KiB MTU, ~66 B of headers per packet.
+MTU = 4 * KB
+HEADER = 66.0
+
+
+class TestWireBytes:
+    def dim(self, **kwargs):
+        return dimension("ring", 4, 100.0).with_packet_model(
+            kwargs.get("mtu", MTU), kwargs.get("header", HEADER)
+        )
+
+    def test_disabled_is_identity(self):
+        plain = dimension("ring", 4, 100.0)
+        assert plain.wire_bytes(123456.0) == 123456.0
+
+    def test_zero_payload(self):
+        assert self.dim().wire_bytes(0.0) == 0.0
+
+    def test_single_packet(self):
+        dim = self.dim()
+        assert dim.wire_bytes(100.0) == pytest.approx(100.0 + HEADER)
+
+    def test_large_payload_small_relative_overhead(self):
+        dim = self.dim()
+        payload = 64 * MB
+        wire = dim.wire_bytes(payload)
+        overhead = (wire - payload) / payload
+        assert overhead == pytest.approx(HEADER / MTU, rel=0.01)
+        assert overhead < 0.02
+
+    def test_steps_multiply_header_cost(self):
+        dim = self.dim()
+        one_step = dim.wire_bytes(100.0, steps=1)
+        three_steps = dim.wire_bytes(100.0, steps=3)
+        # 100 bytes over 3 steps -> 3 packets instead of 1.
+        assert three_steps == pytest.approx(100.0 + 3 * HEADER)
+        assert three_steps > one_step
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(TopologyError):
+            self.dim().wire_bytes(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            DimensionSpec(
+                DimensionKind.RING, 4, 1.0, packet_header_bytes=10.0
+            )
+        with pytest.raises(TopologyError):
+            DimensionSpec(DimensionKind.RING, 4, 1.0, max_packet_bytes=-1.0)
+
+
+class TestTransferTimeWithPackets:
+    def test_transfer_time_inflated(self):
+        algo = RingAlgorithm()
+        plain = dimension("ring", 4, 100.0)
+        packeted = plain.with_packet_model(MTU, HEADER)
+        t_plain = algo.transfer_time(PhaseOp.RS, 1 * MB, plain)
+        t_packet = algo.transfer_time(PhaseOp.RS, 1 * MB, packeted)
+        assert t_packet > t_plain
+        assert t_packet < t_plain * 1.1
+
+    def test_tiny_messages_dominated_by_headers(self):
+        algo = RingAlgorithm()
+        packeted = dimension("ring", 4, 100.0).with_packet_model(MTU, HEADER)
+        # 400-byte stage over 3 ring steps: 3 packets of header for 300
+        # payload bytes -> large relative overhead.
+        plain_time = algo.transfer_time(
+            PhaseOp.RS, 400.0, dimension("ring", 4, 100.0)
+        )
+        packet_time = algo.transfer_time(PhaseOp.RS, 400.0, packeted)
+        assert packet_time > plain_time * 1.5
+
+
+class TestTopologyPacketModel:
+    def test_scalar_application(self, asymmetric_3d):
+        topo = asymmetric_3d.with_packet_model(MTU, HEADER)
+        assert all(d.max_packet_bytes == MTU for d in topo.dims)
+
+    def test_per_dim_application(self, asymmetric_3d):
+        topo = asymmetric_3d.with_packet_model(
+            [MTU, 2 * MTU, MTU], [32.0, 48.0, 66.0]
+        )
+        assert topo.dims[1].max_packet_bytes == 2 * MTU
+        assert topo.dims[2].packet_header_bytes == 66.0
+
+    def test_length_mismatch(self, asymmetric_3d):
+        with pytest.raises(TopologyError):
+            asymmetric_3d.with_packet_model([MTU], HEADER)
+
+    def test_serialization_round_trip(self, asymmetric_3d):
+        topo = asymmetric_3d.with_packet_model(MTU, HEADER)
+        rebuilt = topology_from_dict(topology_to_dict(topo))
+        assert rebuilt == topo
+
+
+class TestGoodputEffect:
+    """The paper's observation: finer chunking eventually hurts goodput."""
+
+    def _utilization(self, topology, chunks):
+        sim = NetworkSimulator(
+            topology,
+            SchedulerFactory("themis", splitter=Splitter(chunks)),
+            policy="SCF",
+        )
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 100 * MB))
+        return bw_utilization(sim.run()).average
+
+    def test_paper_headline_64_chunks_under_half_percent(self):
+        """'Increasing the total header-to-packet ratio by less than 0.5%
+        in the worst case (100 MB AR) compared to 1 chunk' (Sec. 6.1)."""
+        from repro.collectives import stage_plan
+
+        topo = Topology(
+            [
+                dimension("sw", 16, 200.0, links_per_npu=6, latency_ns=700),
+                dimension("sw", 64, 100.0, latency_ns=1700),
+            ],
+        ).with_packet_model(MTU, HEADER)
+
+        def wire_overhead(chunks: int) -> float:
+            total_payload = 0.0
+            total_wire = 0.0
+            algo = RingAlgorithm()
+            for size in [100 * MB / chunks] * chunks:
+                stages = stage_plan(
+                    CollectiveType.ALL_REDUCE, size, (0, 1), topo
+                )
+                for stage in stages:
+                    dim = topo.dims[stage.dim_index]
+                    payload = algo.bytes_per_npu(stage.op, stage.stage_size, dim.size)
+                    total_payload += payload
+                    total_wire += dim.wire_bytes(payload, steps=dim.size - 1)
+            return total_wire / total_payload - 1.0
+
+        delta = wire_overhead(64) - wire_overhead(1)
+        assert delta < 0.005
+
+    def test_extreme_chunking_hurts_with_packets(self):
+        """Once per-step messages drop below one MTU, headers dominate and
+        the collective gets *slower* despite finer load balancing — the
+        goodput cliff of Sec. 6.1."""
+        topo = Topology(
+            [
+                dimension("sw", 16, 800.0, latency_ns=0),
+                dimension("sw", 8, 400.0, latency_ns=0),
+            ],
+        ).with_packet_model(4 * KB, 256.0)
+
+        def makespan(chunks: int) -> float:
+            sim = NetworkSimulator(
+                topo,
+                SchedulerFactory("themis", splitter=Splitter(chunks)),
+                policy="SCF",
+            )
+            sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 10 * MB))
+            return sim.run().makespan
+
+        coarse = makespan(256)
+        fine = makespan(2048)  # dim2 stages far below one packet per step
+        assert fine > coarse * 1.2

@@ -1,0 +1,193 @@
+"""Intra-dimension policies (Sec. 4.3), fusion, and their simulated effects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import CollectiveRequest, CollectiveType
+from repro.core import SchedulerFactory, Splitter, get_policy, policy_names
+from repro.errors import ConfigError
+from repro.sim import FusionConfig, NetworkSimulator, bw_utilization
+from repro.topology import Topology, dimension, get_topology
+from repro.units import MB
+
+
+class TestPolicyRegistry:
+    def test_names(self):
+        assert set(policy_names()) == {"fifo", "scf", "lcf"}
+
+    def test_get_by_alias_case_insensitive(self):
+        assert get_policy("FIFO").name == "FIFO"
+        assert get_policy("scf").name == "SCF"
+        assert get_policy("LcF").name == "LCF"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            get_policy("random")
+
+    def test_select_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            get_policy("fifo").select([])
+
+
+class _FakeOp:
+    def __init__(self, size, ready, seq=0, chunk=0, stage=0, priority=0):
+        self.stage = type("S", (), {"stage_size": size})()
+        self.ready_time = ready
+        self.collective_seq = seq
+        self.chunk_id = chunk
+        self.stage_index = stage
+        self.priority = priority
+
+
+class TestPolicyOrdering:
+    def test_fifo_picks_earliest_ready(self):
+        ops = [_FakeOp(10, 2.0, chunk=0), _FakeOp(99, 1.0, chunk=1)]
+        assert get_policy("fifo").select(ops).chunk_id == 1
+
+    def test_scf_picks_smallest(self):
+        ops = [_FakeOp(10, 2.0, chunk=0), _FakeOp(5, 3.0, chunk=1)]
+        assert get_policy("scf").select(ops).chunk_id == 1
+
+    def test_lcf_picks_largest(self):
+        ops = [_FakeOp(10, 2.0, chunk=0), _FakeOp(5, 3.0, chunk=1)]
+        assert get_policy("lcf").select(ops).chunk_id == 0
+
+    def test_scf_tie_breaks_by_ready_time(self):
+        ops = [_FakeOp(10, 2.0, chunk=0), _FakeOp(10, 1.0, chunk=1)]
+        assert get_policy("scf").select(ops).chunk_id == 1
+
+    def test_priority_trumps_everything(self):
+        """High-priority (MP) ops overtake earlier, smaller DP ops."""
+        ops = [
+            _FakeOp(1, 0.0, chunk=0, priority=0),
+            _FakeOp(99, 5.0, chunk=1, priority=1),
+        ]
+        for name in ("fifo", "scf", "lcf"):
+            assert get_policy(name).select(ops).chunk_id == 1, name
+
+
+class TestPriorityInSimulation:
+    def test_high_priority_collective_finishes_first(self):
+        """Two same-size collectives issued together: the prioritized one
+        completes no later than the background one."""
+        from repro.collectives import CollectiveRequest, CollectiveType
+        from repro.core import SchedulerFactory, Splitter
+        from repro.sim import NetworkSimulator
+        from repro.topology import get_topology
+        from repro.units import MB
+
+        sim = NetworkSimulator(
+            get_topology("3D-SW_SW_SW_homo"),
+            SchedulerFactory("themis", splitter=Splitter(8)),
+            policy="SCF",
+        )
+        background = sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 256 * MB, priority=0)
+        )
+        urgent = sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 256 * MB, priority=5)
+        )
+        sim.run()
+        assert urgent.completion_time <= background.completion_time
+
+
+class TestFusionConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FusionConfig(saturation_factor=-1)
+        with pytest.raises(ConfigError):
+            FusionConfig(max_ops=0)
+
+    def test_is_small(self):
+        cfg = FusionConfig(saturation_factor=1.0)
+        small = _FakeOp(1, 0.0)
+        small.transfer_time = 0.5
+        small.fixed_time = 1.0
+        big = _FakeOp(1, 0.0)
+        big.transfer_time = 2.0
+        big.fixed_time = 1.0
+        assert cfg.is_small(small)
+        assert not cfg.is_small(big)
+
+
+def _latency_heavy_topology() -> Topology:
+    """High step latency so small chunk ops cannot saturate the links."""
+    return Topology(
+        [
+            dimension("sw", 4, 800.0, latency_ns=5000),
+            dimension("sw", 4, 400.0, latency_ns=5000),
+        ],
+        name="latency-heavy",
+    )
+
+
+def _run(topology, chunks, fusion, policy="SCF", size=8 * MB):
+    sim = NetworkSimulator(
+        topology,
+        SchedulerFactory("themis", splitter=Splitter(chunks)),
+        policy=policy,
+        fusion=fusion,
+    )
+    sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, size))
+    return sim.run()
+
+
+class TestFusionEffects:
+    def test_fusion_coalesces_batches_without_hurting(self):
+        """Under pipelined fixed latency, fusion's job is to shrink the
+        event count (NCCL-style coalescing); makespan stays comparable."""
+        topo = _latency_heavy_topology()
+        plain = _run(topo, 64, FusionConfig(enabled=False))
+        fused = _run(topo, 64, FusionConfig(enabled=True, max_ops=16))
+        assert fused.makespan <= plain.makespan * 1.25
+        # Fused runs group several ops into shared intervals.
+        def batch_count(result):
+            return len(
+                {(r.dim_index, r.start_time, r.end_time) for r in result.records}
+            )
+        assert batch_count(fused) < batch_count(plain)
+
+    def test_fusion_noop_for_large_chunks(self, fig5_topology):
+        """Large transfers saturate links; fusion must not change anything."""
+        plain = _run(fig5_topology, 4, FusionConfig(enabled=False), size=256 * MB)
+        fused = _run(fig5_topology, 4, FusionConfig(enabled=True), size=256 * MB)
+        assert fused.makespan == pytest.approx(plain.makespan)
+
+    def test_fusion_batch_cap_respected(self):
+        topo = _latency_heavy_topology()
+        result = _run(topo, 64, FusionConfig(enabled=True, max_ops=4))
+        by_interval: dict[tuple[float, float, int], int] = {}
+        for record in result.records:
+            key = (record.start_time, record.end_time, record.dim_index)
+            by_interval[key] = by_interval.get(key, 0) + 1
+        assert max(by_interval.values()) <= 4
+
+
+class TestPolicyEffects:
+    def test_scf_not_slower_than_fifo_on_paper_topology(self):
+        topo = get_topology("3D-SW_SW_SW_homo")
+        fifo = _run(topo, 64, FusionConfig(), policy="FIFO", size=512 * MB)
+        scf = _run(topo, 64, FusionConfig(), policy="SCF", size=512 * MB)
+        assert scf.makespan <= fifo.makespan * 1.001
+
+    def test_scf_higher_utilization_than_fifo(self):
+        topo = get_topology("3D-SW_SW_SW_homo")
+        fifo = _run(topo, 64, FusionConfig(), policy="FIFO", size=512 * MB)
+        scf = _run(topo, 64, FusionConfig(), policy="SCF", size=512 * MB)
+        assert bw_utilization(scf).average >= bw_utilization(fifo).average - 1e-9
+
+    def test_baseline_insensitive_to_policy(self, fig5_topology):
+        """Sec. 4.3: with identical chunk schedules, policy cannot matter."""
+        results = {}
+        for policy in ("FIFO", "SCF", "LCF"):
+            sim = NetworkSimulator(
+                fig5_topology,
+                SchedulerFactory("baseline", splitter=Splitter(8)),
+                policy=policy,
+                fusion=FusionConfig(enabled=False),
+            )
+            sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 256 * MB))
+            results[policy] = sim.run().makespan
+        assert results["FIFO"] == pytest.approx(results["SCF"])
+        assert results["FIFO"] == pytest.approx(results["LCF"])

@@ -1,0 +1,288 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+Covered properties:
+
+* stage-size math: telescoping invariance of hierarchical RS/AG bytes,
+  palindromic AR stage sizes, conservation under arbitrary dim orders;
+* scheduler: every produced order is a valid permutation; all chunks sum
+  to the collective size; determinism (same inputs -> same plan);
+* load tracker: order keys sort consistently with loads;
+* simulator: dependencies respected, wire never oversubscribed, makespan
+  bounded below by the fluid/critical-path bounds and above by the fully
+  serialized sum;
+* splitter: exact partition for arbitrary sizes and counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveRequest,
+    CollectiveType,
+    invariant_bytes_per_npu,
+    stage_bytes_fraction,
+    stage_plan,
+)
+from repro.core import (
+    BaselineScheduler,
+    DimLoadTracker,
+    LatencyModel,
+    SchedulerFactory,
+    Splitter,
+    ThemisScheduler,
+)
+from repro.sim import FusionConfig, NetworkSimulator
+from repro.topology import Topology, dimension
+from repro.units import MB
+
+# --- strategies -------------------------------------------------------------
+
+_KINDS = ("ring", "fc", "sw")
+
+
+@st.composite
+def topologies(draw, max_dims: int = 4):
+    """Random 2-4 dimension topologies with power-of-two sizes."""
+    ndims = draw(st.integers(min_value=2, max_value=max_dims))
+    dims = []
+    for index in range(ndims):
+        kind = draw(st.sampled_from(_KINDS))
+        size = draw(st.sampled_from([2, 4, 8, 16]))
+        bw = draw(st.floats(min_value=10.0, max_value=2000.0))
+        latency = draw(st.sampled_from([0.0, 20.0, 700.0, 1700.0]))
+        dims.append(
+            dimension(kind, size, bw, latency_ns=latency, name=f"d{index}")
+        )
+    return Topology(dims, name="random")
+
+
+collective_types = st.sampled_from(
+    [
+        CollectiveType.ALL_REDUCE,
+        CollectiveType.REDUCE_SCATTER,
+        CollectiveType.ALL_GATHER,
+        CollectiveType.ALL_TO_ALL,
+    ]
+)
+
+sizes = st.floats(min_value=1 * MB, max_value=2048 * MB)
+
+
+def _permutations_of(ndims: int):
+    return st.permutations(list(range(ndims)))
+
+
+# --- stage math --------------------------------------------------------------
+
+
+class TestStageMathProperties:
+    @given(topo=topologies(), size=sizes, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_rs_bytes_invariant_under_order(self, topo, size, data):
+        """Total RS bytes telescope to S x (1 - 1/P) for ANY dim order."""
+        order = data.draw(_permutations_of(topo.ndims))
+        fractions = stage_bytes_fraction(
+            CollectiveType.REDUCE_SCATTER, order, topo
+        )
+        expected = 1.0 - 1.0 / topo.npus
+        assert sum(fractions.values()) == pytest.approx(expected)
+
+    @given(topo=topologies(), size=sizes, ctype=collective_types, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_stage_sizes_positive_and_consistent(self, topo, size, ctype, data):
+        order = data.draw(_permutations_of(topo.ndims))
+        stages = stage_plan(ctype, size, order, topo)
+        assert all(stage.stage_size > 0 for stage in stages)
+        expected_stages = (
+            2 * topo.ndims if ctype is CollectiveType.ALL_REDUCE else topo.ndims
+        )
+        assert len(stages) == expected_stages
+
+    @given(topo=topologies(), size=sizes, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_ar_stage_sizes_palindromic(self, topo, size, data):
+        order = data.draw(_permutations_of(topo.ndims))
+        stages = stage_plan(CollectiveType.ALL_REDUCE, size, order, topo)
+        sizes_list = [s.stage_size for s in stages]
+        assert sizes_list == pytest.approx(sizes_list[::-1])
+
+    @given(topo=topologies(), size=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_ar_invariant_is_double_rs(self, topo, size):
+        rs = invariant_bytes_per_npu(CollectiveType.REDUCE_SCATTER, size, topo)
+        ag = invariant_bytes_per_npu(CollectiveType.ALL_GATHER, size, topo)
+        ar = invariant_bytes_per_npu(CollectiveType.ALL_REDUCE, size, topo)
+        assert rs == pytest.approx(ag)
+        assert ar == pytest.approx(rs + ag)
+
+
+# --- splitter -----------------------------------------------------------------
+
+
+class TestSplitterProperties:
+    @given(
+        size=sizes,
+        count=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_split_partitions_exactly(self, size, count):
+        chunks = Splitter(count).split(size)
+        assert len(chunks) == count
+        assert sum(chunks) == pytest.approx(size)
+        assert max(chunks) == pytest.approx(min(chunks))
+
+    @given(
+        size=sizes,
+        count=st.integers(min_value=1, max_value=128),
+        min_chunk=st.floats(min_value=0.5 * MB, max_value=64 * MB),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_min_chunk_respected(self, size, count, min_chunk):
+        splitter = Splitter(count, min_chunk_size=min_chunk)
+        chunks = splitter.split(size)
+        if len(chunks) > 1:
+            assert chunks[0] >= min_chunk * 0.999
+
+
+# --- schedulers -----------------------------------------------------------------
+
+
+class TestSchedulerProperties:
+    @given(topo=topologies(), size=sizes, ctype=collective_types,
+           chunks=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=50, deadline=None)
+    def test_themis_orders_are_permutations(self, topo, size, ctype, chunks):
+        request = CollectiveRequest(ctype, size)
+        plan = ThemisScheduler(Splitter(chunks)).plan(request, topo)
+        for order in plan.dim_orders():
+            assert sorted(order) == list(range(topo.ndims))
+        assert sum(c.size for c in plan.chunks) == pytest.approx(size)
+
+    @given(topo=topologies(), size=sizes,
+           chunks=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=50, deadline=None)
+    def test_scheduling_is_deterministic(self, topo, size, chunks):
+        request = CollectiveRequest(CollectiveType.ALL_REDUCE, size)
+        first = ThemisScheduler(Splitter(chunks)).plan(request, topo)
+        second = ThemisScheduler(Splitter(chunks)).plan(request, topo)
+        assert first.dim_orders() == second.dim_orders()
+
+    @given(topo=topologies(), size=sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_themis_max_load_near_or_below_baseline(self, topo, size):
+        """Themis's tracked max-load stays within a small overshoot of the
+        baseline's — the greedy reroute granularity can cost a few percent
+        near just-enough provisioning (see EXPERIMENTS.md) but never blows
+        up — and improves materially whenever the baseline is clearly
+        imbalanced."""
+        request = CollectiveRequest(CollectiveType.ALL_REDUCE, size)
+        model = LatencyModel(topo)
+
+        def dim_loads(scheduler):
+            chunk_sizes = scheduler.splitter.split(size)
+            orders = scheduler.chunk_orders(request, chunk_sizes, model)
+            loads = [0.0] * topo.ndims
+            for chunk_size, order in zip(chunk_sizes, orders):
+                stages = stage_plan(request.ctype, chunk_size, order, topo)
+                for dim, load in enumerate(model.stage_loads(stages)):
+                    loads[dim] += load
+            return loads
+
+        themis = max(dim_loads(ThemisScheduler(Splitter(16))))
+        baseline_loads = dim_loads(BaselineScheduler(Splitter(16)))
+        baseline = max(baseline_loads)
+        # The greedy's worst case over the baseline is bounded by a couple
+        # of misrouted chunks' full-size round trips on the weakest
+        # dimension (the reroute charges a dimension a chunk that has not
+        # been shrunk by earlier stages).  See EXPERIMENTS.md for the
+        # just-enough-provisioning discussion.
+        chunk = size / 16
+        overshoot_bound = max(
+            2.0 * chunk * (1.0 - 1.0 / dim.size) / dim.bandwidth
+            for dim in topo.dims
+        )
+        assert themis <= baseline + 2.0 * overshoot_bound + 1e-15
+
+
+# --- load tracker ------------------------------------------------------------------
+
+
+class TestTrackerProperties:
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=1e3), min_size=2, max_size=4
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_orders_sort_by_load(self, loads):
+        topo = Topology(
+            [dimension("ring", 2, 100.0) for _ in loads], name="t"
+        )
+        tracker = DimLoadTracker(LatencyModel(topo))
+        tracker.update(loads)
+        ascending = tracker.ascending_order()
+        values = [loads[i] for i in ascending]
+        assert values == sorted(values)
+        descending = tracker.descending_order()
+        values = [loads[i] for i in descending]
+        assert values == sorted(values, reverse=True)
+
+
+# --- simulation ---------------------------------------------------------------------
+
+
+class TestSimulationProperties:
+    @given(topo=topologies(max_dims=3), size=sizes, ctype=collective_types,
+           chunks=st.integers(min_value=1, max_value=16),
+           kind=st.sampled_from(["baseline", "themis"]),
+           policy=st.sampled_from(["FIFO", "SCF"]))
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_invariants(self, topo, size, ctype, chunks, kind, policy):
+        sim = NetworkSimulator(
+            topo,
+            SchedulerFactory(kind, splitter=Splitter(chunks)),
+            policy=policy,
+            fusion=FusionConfig(enabled=False),
+        )
+        sim.submit(CollectiveRequest(ctype, size))
+        result = sim.run()
+
+        # 1. All ops executed.
+        stages = 2 * topo.ndims if ctype is CollectiveType.ALL_REDUCE else topo.ndims
+        assert len(result.records) == chunks * stages
+
+        # 2. Per-chunk stage dependencies respected.
+        by_chunk: dict[int, list] = {}
+        for record in result.records:
+            by_chunk.setdefault(record.chunk_id, []).append(record)
+        for records in by_chunk.values():
+            records.sort(key=lambda r: r.stage_index)
+            for prev, nxt in zip(records, records[1:]):
+                assert nxt.start_time >= prev.end_time - 1e-12
+
+        # 3. Wire occupancy: per-dim transfer time fits in the makespan.
+        for dim in range(topo.ndims):
+            assert result.dim_transfer_seconds[dim] <= result.makespan * (1 + 1e-9)
+
+        # 4. Makespan bounded below by the per-dim critical transfer load
+        #    and above by the fully serialized sum of all op times.
+        lower = max(result.dim_transfer_seconds)
+        upper = sum(
+            r.transfer_time + r.fixed_time for r in result.records
+        )
+        assert lower <= result.makespan * (1 + 1e-9)
+        assert result.makespan <= upper * (1 + 1e-9) + 1e-15
+
+        # 5. Bytes on the wire match the plan's stage volumes exactly.
+        plan = result.collectives[0].plan
+        expected = 0.0
+        for chunk in plan.chunks:
+            for stage in chunk.stages:
+                peers = topo.dims[stage.dim_index].size
+                expected += stage.stage_size * (peers - 1) / peers
+        assert sum(result.dim_bytes) == pytest.approx(expected)

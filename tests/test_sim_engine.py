@@ -1,0 +1,164 @@
+"""Event engine, timeline helpers, and dimension-channel mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, Interval, merge_intervals, total_length
+from repro.sim.timeline import OpRecord, render_gantt
+from repro.collectives import PhaseOp
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        engine = EventQueue()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = EventQueue()
+        fired = []
+        for label in "abc":
+            engine.schedule(1.0, lambda label=label: fired.append(label))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule_more(self):
+        engine = EventQueue()
+        fired = []
+
+        def first():
+            fired.append(1)
+            engine.schedule_after(1.0, lambda: fired.append(2))
+
+        engine.schedule(0.0, first)
+        engine.run()
+        assert fired == [1, 2]
+        assert engine.now == 1.0
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventQueue(start_time=5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = EventQueue()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_event_budget(self):
+        engine = EventQueue()
+
+        def rearm():
+            engine.schedule_after(1.0, rearm)
+
+        engine.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_run_until(self):
+        engine = EventQueue()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run_until(2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_counters(self):
+        engine = EventQueue()
+        engine.schedule(1.0, lambda: None)
+        assert engine.pending == 1
+        engine.run()
+        assert engine.events_processed == 1
+        assert engine.pending == 0
+
+
+class TestIntervals:
+    def test_merge_overlapping(self):
+        merged = merge_intervals(
+            [Interval(0, 2), Interval(1, 3), Interval(5, 6)]
+        )
+        assert merged == [Interval(0, 3), Interval(5, 6)]
+
+    def test_merge_adjacent(self):
+        merged = merge_intervals([Interval(0, 1), Interval(1, 2)])
+        assert merged == [Interval(0, 2)]
+
+    def test_merge_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_total_length_deduplicates(self):
+        assert total_length([Interval(0, 2), Interval(1, 3)]) == pytest.approx(3.0)
+
+    def test_interval_length(self):
+        assert Interval(1.0, 3.5).length == pytest.approx(2.5)
+
+
+def _record(dim, chunk, stage, start, end, op=PhaseOp.RS, size=1.0):
+    return OpRecord(
+        collective_seq=0,
+        chunk_id=chunk,
+        stage_index=stage,
+        dim_index=dim,
+        op=op,
+        stage_size=size,
+        bytes_sent=size,
+        transfer_time=end - start,
+        fixed_time=0.0,
+        ready_time=start,
+        start_time=start,
+        end_time=end,
+    )
+
+
+class TestOpRecord:
+    def test_duration_and_queueing(self):
+        record = OpRecord(
+            collective_seq=0,
+            chunk_id=1,
+            stage_index=2,
+            dim_index=0,
+            op=PhaseOp.AG,
+            stage_size=8.0,
+            bytes_sent=6.0,
+            transfer_time=1.0,
+            fixed_time=0.5,
+            ready_time=1.0,
+            start_time=2.0,
+            end_time=3.5,
+        )
+        assert record.duration == pytest.approx(1.5)
+        assert record.queueing_delay == pytest.approx(1.0)
+        assert record.label() == "AG C2.3"
+
+
+class TestGantt:
+    def test_render_contains_labels(self):
+        records = [
+            _record(0, 0, 0, 0.0, 1.0),
+            _record(1, 0, 1, 1.0, 2.0),
+        ]
+        art = render_gantt(records, ndims=2, width=40)
+        assert "dim1" in art and "dim2" in art
+        assert "C1.1" in art
+
+    def test_render_empty(self):
+        assert "empty" in render_gantt([], ndims=2)
+
+    def test_render_scales_to_width(self):
+        records = [_record(0, 0, 0, 0.0, 10.0)]
+        art = render_gantt(records, ndims=1, width=30)
+        line = next(l for l in art.splitlines() if l.startswith("dim1"))
+        assert len(line) <= len("dim1: ") + 30 + 1

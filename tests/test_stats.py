@@ -1,0 +1,150 @@
+"""Statistics: utilization reports, activity-rate series, edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import CollectiveRequest, CollectiveType
+from repro.core import SchedulerFactory, Splitter
+from repro.errors import ReproError
+from repro.sim import (
+    Interval,
+    NetworkSimulator,
+    activity_rate_series,
+    bw_utilization,
+    dimension_activity_rates,
+    mean_activity_rate,
+)
+from repro.units import MB, US
+
+
+def run_ar(topology, size=64 * MB, chunks=8, kind="themis", policy="SCF"):
+    sim = NetworkSimulator(
+        topology, SchedulerFactory(kind, splitter=Splitter(chunks)), policy=policy
+    )
+    sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, size))
+    return sim.run()
+
+
+class TestBwUtilization:
+    def test_per_dim_between_zero_and_one(self, asymmetric_3d):
+        report = bw_utilization(run_ar(asymmetric_3d))
+        assert all(0.0 <= u <= 1.0 for u in report.per_dim)
+        assert 0.0 < report.average <= 1.0
+
+    def test_average_is_bw_weighted(self, asymmetric_3d):
+        result = run_ar(asymmetric_3d)
+        report = bw_utilization(result)
+        weights = [asymmetric_3d.bw_share(i) for i in range(3)]
+        expected = sum(w * u for w, u in zip(weights, report.per_dim))
+        assert report.average == pytest.approx(expected)
+
+    def test_explicit_window(self, asymmetric_3d):
+        result = run_ar(asymmetric_3d)
+        doubled = bw_utilization(result, window=2 * result.makespan)
+        normal = bw_utilization(result)
+        assert doubled.average == pytest.approx(normal.average / 2, rel=1e-6)
+
+    def test_empty_window_rejected(self, asymmetric_3d):
+        result = run_ar(asymmetric_3d)
+        with pytest.raises(ValueError):
+            bw_utilization(result, window=0.0)
+
+    def test_describe_mentions_every_dim(self, asymmetric_3d):
+        report = bw_utilization(run_ar(asymmetric_3d))
+        text = report.describe(asymmetric_3d)
+        for i in range(1, 4):
+            assert f"dim{i}" in text
+
+
+class TestActivitySeries:
+    def test_full_coverage_rate_one(self):
+        series = activity_rate_series(
+            [Interval(0.0, 10.0)], start=0.0, end=10.0, window=2.0
+        )
+        assert len(series) == 5
+        assert all(rate == pytest.approx(1.0) for _t, rate in series)
+
+    def test_half_coverage(self):
+        series = activity_rate_series(
+            [Interval(0.0, 1.0)], start=0.0, end=2.0, window=2.0
+        )
+        assert series[0][1] == pytest.approx(0.5)
+
+    def test_empty_range(self):
+        assert activity_rate_series([], 5.0, 5.0, 1.0) == []
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            activity_rate_series([], 0.0, 1.0, 0.0)
+
+    def test_partial_last_bucket_normalized(self):
+        series = activity_rate_series(
+            [Interval(0.0, 3.0)], start=0.0, end=3.0, window=2.0
+        )
+        # Buckets [0,2) and [2,3): both fully covered.
+        assert [rate for _t, rate in series] == pytest.approx([1.0, 1.0])
+
+    def test_dimension_series_shapes(self, asymmetric_3d):
+        result = run_ar(asymmetric_3d)
+        series = dimension_activity_rates(result, window=100 * US)
+        assert len(series) == asymmetric_3d.ndims
+        for dim_series in series:
+            assert dim_series, "every dimension saw some activity"
+
+    def test_mean_activity_bounds(self, asymmetric_3d):
+        result = run_ar(asymmetric_3d)
+        for dim in range(asymmetric_3d.ndims):
+            rate = mean_activity_rate(result, dim)
+            assert 0.0 <= rate <= 1.0 + 1e-9
+
+
+class TestBaselineVsThemisActivity:
+    def test_baseline_strands_trailing_dims(self, homo_3d):
+        result = run_ar(homo_3d, size=512 * MB, chunks=64, kind="baseline",
+                        policy="FIFO")
+        assert mean_activity_rate(result, 0) > 0.9
+        assert mean_activity_rate(result, 2) < 0.3
+
+    def test_themis_keeps_dims_busy(self, homo_3d):
+        result = run_ar(homo_3d, size=512 * MB, chunks=64)
+        for dim in range(3):
+            assert mean_activity_rate(result, dim) > 0.8
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro.errors import (
+            CollectiveError,
+            ConfigError,
+            DeadlockError,
+            ScheduleError,
+            SimulationError,
+            TopologyError,
+            WorkloadError,
+        )
+
+        for exc_type in (
+            ConfigError,
+            TopologyError,
+            CollectiveError,
+            ScheduleError,
+            SimulationError,
+            DeadlockError,
+            WorkloadError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_topology_error_is_config_error(self):
+        from repro.errors import ConfigError, TopologyError
+
+        assert issubclass(TopologyError, ConfigError)
+
+    def test_deadlock_is_simulation_error(self):
+        from repro.errors import DeadlockError, SimulationError
+
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_single_catch_all(self, asymmetric_3d):
+        with pytest.raises(ReproError):
+            asymmetric_3d.subset([99])

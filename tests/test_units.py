@@ -1,0 +1,90 @@
+"""Unit helpers: parsing, formatting, conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import (
+    GB,
+    GBPS,
+    KB,
+    MB,
+    fmt_size,
+    fmt_time,
+    gbps,
+    parse_size,
+    to_gbps,
+)
+
+
+class TestParseSize:
+    def test_bare_number_is_bytes(self):
+        assert parse_size(1024) == 1024.0
+        assert parse_size(0) == 0.0
+        assert parse_size(3.5) == 3.5
+
+    def test_suffixes(self):
+        assert parse_size("1KB") == KB
+        assert parse_size("64MB") == 64 * MB
+        assert parse_size("1GB") == GB
+        assert parse_size("2TB") == 2 * 1024 * GB
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_size(" 1 gb ") == GB
+        assert parse_size("1gb") == GB
+        assert parse_size("100mb") == 100 * MB
+
+    def test_fractional_values(self):
+        assert parse_size("0.5GB") == 0.5 * GB
+        assert parse_size("2.25MB") == 2.25 * MB
+
+    def test_plain_bytes_suffix(self):
+        assert parse_size("512B") == 512.0
+        assert parse_size("512") == 512.0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_size("abc")
+        with pytest.raises(ConfigError):
+            parse_size("12XB")
+        with pytest.raises(ConfigError):
+            parse_size("")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+
+class TestBandwidth:
+    def test_gbps_roundtrip(self):
+        assert to_gbps(gbps(800.0)) == pytest.approx(800.0)
+
+    def test_gbps_is_bytes_per_second(self):
+        # 8 Gb/s == 1e9 bytes/s.
+        assert gbps(8.0) == pytest.approx(1e9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            gbps(-1.0)
+
+    def test_constant_consistency(self):
+        assert gbps(1.0) == GBPS
+
+
+class TestFormatting:
+    def test_fmt_size_picks_scale(self):
+        assert fmt_size(512) == "512B"
+        assert fmt_size(2 * KB) == "2KB"
+        assert fmt_size(64 * MB) == "64MB"
+        assert fmt_size(1.5 * GB) == "1.5GB"
+
+    def test_fmt_time_picks_scale(self):
+        assert fmt_time(2.0) == "2s"
+        assert fmt_time(3e-3) == "3ms"
+        assert fmt_time(4e-6) == "4us"
+        assert fmt_time(5e-9) == "5ns"
+
+    def test_fmt_roundtrippable_for_parse(self):
+        # fmt_size output should be parseable back.
+        assert parse_size(fmt_size(64 * MB)) == 64 * MB
