@@ -1,0 +1,51 @@
+"""Bench: multi-job cluster contention — Poisson trace, Baseline vs Themis.
+
+Runs the ≥4-job cluster-contention experiment end-to-end on the paper's
+3D-SW_SW_SW_homo platform: one shared network, Poisson arrivals, per-job
+scheduler choice, per-job JCT / slowdown-vs-isolated, cluster makespan,
+and per-dimension BW utilization.
+
+The single-job headline carries over to the multi-tenant setting: with the
+same trace, all-Themis jobs see higher shared-network utilization and no
+worse mean JCT and makespan than all-Baseline jobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_cluster_contention
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_contention(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_cluster_contention,
+        kwargs={"quick": True, "n_jobs": 4},
+        rounds=1, iterations=1,
+    )
+    save_result("cluster_contention", result.render())
+
+    for variant in ("Baseline", "Themis"):
+        report = result.report(variant)
+        assert len(report.jobs) == 4
+        for job in report.jobs:
+            assert job.jct > 0
+            assert job.isolated_time is not None and job.isolated_time > 0
+            # Sharing the network can only delay a job (tiny numerical slack).
+            assert job.slowdown >= 0.98, (
+                f"{variant}/{job.name}: slowdown {job.slowdown:.3f}"
+            )
+        assert report.makespan >= report.max_jct
+        assert report.utilization is not None
+        for util in report.utilization.per_dim:
+            assert 0.0 < util <= 1.0
+
+    # Themis jobs drain the cluster at least as fast as Baseline jobs.
+    assert result.mean_jct_speedup() >= 0.98
+    assert result.makespan_speedup() >= 0.98
+    # ... and drive the shared network's bandwidth harder.
+    assert (
+        result.report("Themis").utilization.average
+        >= result.report("Baseline").utilization.average
+    )

@@ -10,6 +10,8 @@ provides:
 * ``repro.sim`` — the discrete-event network simulator,
 * ``repro.workloads`` / ``repro.training`` — DNN workload models and the
   end-to-end training-iteration simulator,
+* ``repro.cluster`` — multi-job cluster simulation (concurrent training
+  jobs contending for one shared network),
 * ``repro.analysis`` — utilization metrics and BW-provisioning insights,
 * ``repro.experiments`` — harnesses regenerating every paper figure/table.
 
@@ -27,6 +29,14 @@ Quickstart::
     print(result.makespan, bw_utilization(result).average)
 """
 
+from .cluster import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterSimulator,
+    JobSpec,
+    poisson_trace,
+    run_cluster,
+)
 from .collectives import (
     CollectiveRequest,
     CollectiveType,
@@ -108,6 +118,13 @@ __all__ = [
     "ScheduleError",
     "SimulationError",
     "WorkloadError",
+    # cluster
+    "JobSpec",
+    "poisson_trace",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "ClusterReport",
+    "run_cluster",
     # sim
     "EventQueue",
     "NetworkSimulator",

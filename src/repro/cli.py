@@ -8,6 +8,9 @@ Subcommands
     Simulate one collective on one topology under each scheduler.
 ``train``
     Simulate training iterations of a paper workload.
+``cluster``
+    Simulate a multi-job cluster trace (Poisson arrivals, shared network)
+    under per-job Baseline vs Themis scheduling.
 ``provisioning``
     Sec. 6.3 BW-distribution assessment of a topology.
 ``fig``
@@ -86,6 +89,39 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .experiments.cluster_contention import run_cluster_contention
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 1
+    if args.interarrival_ms <= 0:
+        print(
+            f"error: --interarrival-ms must be > 0, got {args.interarrival_ms}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.iterations < 1:
+        print(
+            f"error: --iterations must be >= 1, got {args.iterations}",
+            file=sys.stderr,
+        )
+        return 1
+    workloads = tuple(
+        name.strip() for name in args.workloads.split(",") if name.strip()
+    )
+    result = run_cluster_contention(
+        topology_name=args.topology,
+        n_jobs=args.jobs,
+        mean_interarrival=args.interarrival_ms * 1e-3,
+        seed=args.seed,
+        iterations=args.iterations,
+        workload_names=workloads or None,
+    )
+    print(result.render())
+    return 0
+
+
 def _cmd_provisioning(args: argparse.Namespace) -> int:
     print(assess(get_topology(args.topology)).describe())
     return 0
@@ -137,6 +173,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sync-dp", action="store_true",
                        help="expose all DP comm at end of backprop (paper mode)")
 
+    cluster = sub.add_parser(
+        "cluster", help="simulate a multi-job cluster trace (shared network)"
+    )
+    cluster.add_argument("--topology", default="3D-SW_SW_SW_homo")
+    cluster.add_argument("--jobs", type=int, default=4,
+                         help="number of jobs in the Poisson arrival trace")
+    cluster.add_argument("--interarrival-ms", type=float, default=2.0,
+                         help="mean job inter-arrival time in milliseconds")
+    cluster.add_argument("--seed", type=int, default=1,
+                         help="arrival-trace RNG seed")
+    cluster.add_argument("--iterations", type=int, default=1,
+                         help="training iterations per job")
+    cluster.add_argument("--workloads", default="",
+                         help="comma-separated workload rotation "
+                              "(default: dlrm,resnet-152,gnmt)")
+
     provisioning = sub.add_parser(
         "provisioning", help="Sec. 6.3 BW-distribution assessment"
     )
@@ -153,6 +205,7 @@ _COMMANDS = {
     "topologies": _cmd_topologies,
     "collective": _cmd_collective,
     "train": _cmd_train,
+    "cluster": _cmd_cluster,
     "provisioning": _cmd_provisioning,
     "fig": _cmd_fig,
 }

@@ -1,0 +1,23 @@
+"""Multi-job cluster simulation: concurrent training jobs on one network.
+
+Extends the single-collective / single-job reproduction to the setting real
+clusters face (CASSINI, Themis-fair): many jobs whose collectives contend
+for the same network dimensions, with per-job scheduler choice, priorities,
+communicator dim-subsets, and Poisson (or explicit) arrival traces.
+"""
+
+from .jobs import JOB_SCHEDULERS, JobSpec, poisson_trace
+from .metrics import ClusterReport, JobOutcome
+from .simulator import ClusterConfig, ClusterSimulator, isolated_jct, run_cluster
+
+__all__ = [
+    "JOB_SCHEDULERS",
+    "JobSpec",
+    "poisson_trace",
+    "JobOutcome",
+    "ClusterReport",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "isolated_jct",
+    "run_cluster",
+]

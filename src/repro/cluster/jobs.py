@@ -1,0 +1,145 @@
+"""Job specifications and arrival traces for the multi-job cluster simulator.
+
+A :class:`JobSpec` describes one training job: which workload it trains,
+when it arrives, how many iterations it runs, which collective scheduler it
+uses (Baseline vs Themis — chosen *per job*, the shared network honors it
+per request), which slice of the platform's dimensions its communicators
+span, and its scheduling priority relative to other tenants.
+
+Traces are plain ``list[JobSpec]``: build them explicitly, or draw Poisson
+arrivals with :func:`poisson_trace` (seeded, fully deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..workloads import get_workload
+from ..workloads.base import Workload
+
+#: Scheduler kinds a job may request (mirrors ``SchedulerFactory``).
+JOB_SCHEDULERS = ("baseline", "themis")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One training job in a cluster trace.
+
+    Attributes
+    ----------
+    name:
+        Unique job identifier; stamped as ``owner`` on every collective the
+        job submits (per-job comm-active accounting).
+    workload:
+        A :class:`Workload` instance or a registry name (``"resnet-152"``,
+        ``"dlrm"``, ...) resolved lazily via :func:`get_workload`.
+    arrival_time:
+        Absolute simulation time (seconds) at which the job starts.
+    scheduler:
+        Collective scheduler for this job's traffic: ``"baseline"`` or
+        ``"themis"``.
+    iterations:
+        Training iterations the job runs before completing.
+    dim_indices:
+        Platform dimensions the job's communicators span (its slice of the
+        cluster); ``None`` means all dimensions.
+    priority:
+        Added to every request's priority — higher-priority jobs win ties
+        in the intra-dimension policies (NCCL-priority-stream style).
+    """
+
+    name: str
+    workload: Workload | str
+    arrival_time: float = 0.0
+    scheduler: str = "themis"
+    iterations: int = 1
+    dim_indices: tuple[int, ...] | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("job name must be non-empty")
+        if self.arrival_time < 0:
+            raise ConfigError(
+                f"job {self.name!r}: arrival time must be >= 0, "
+                f"got {self.arrival_time}"
+            )
+        if self.iterations < 1:
+            raise ConfigError(
+                f"job {self.name!r}: need >= 1 iterations, got {self.iterations}"
+            )
+        if self.scheduler.lower() not in JOB_SCHEDULERS:
+            raise ConfigError(
+                f"job {self.name!r}: unknown scheduler {self.scheduler!r}; "
+                f"known: {', '.join(JOB_SCHEDULERS)}"
+            )
+        if self.dim_indices is not None:
+            object.__setattr__(self, "dim_indices", tuple(self.dim_indices))
+
+    def resolve_workload(self) -> Workload:
+        """The job's :class:`Workload` (resolving registry names)."""
+        if isinstance(self.workload, Workload):
+            return self.workload
+        return get_workload(self.workload)
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, Workload):
+            return self.workload.name
+        return self.workload
+
+    @property
+    def scheduler_label(self) -> str:
+        """Display label (``Baseline`` / ``Themis``)."""
+        return "Themis" if self.scheduler.lower() == "themis" else "Baseline"
+
+    def at_arrival(self, arrival_time: float) -> "JobSpec":
+        """Copy of this spec arriving at ``arrival_time``."""
+        return replace(self, arrival_time=arrival_time)
+
+
+def poisson_trace(
+    workloads: Sequence[Workload | str],
+    mean_interarrival: float,
+    *,
+    seed: int = 0,
+    schedulers: Sequence[str] = ("themis",),
+    iterations: int = 1,
+    start_time: float = 0.0,
+    name_prefix: str = "job",
+) -> list[JobSpec]:
+    """Draw a Poisson job-arrival trace (deterministic for a given seed).
+
+    One job per entry of ``workloads``; the first arrives at ``start_time``
+    and subsequent inter-arrival gaps are exponential with mean
+    ``mean_interarrival`` seconds.  ``schedulers`` is cycled across jobs, so
+    ``("baseline",)`` gives an all-Baseline cluster, ``("themis",)`` an
+    all-Themis one, and ``("baseline", "themis")`` alternates.
+    """
+    if mean_interarrival <= 0:
+        raise ConfigError(
+            f"mean interarrival must be positive, got {mean_interarrival}"
+        )
+    if not workloads:
+        raise ConfigError("a trace needs at least one workload")
+    if not schedulers:
+        raise ConfigError("a trace needs at least one scheduler")
+    rng = random.Random(seed)
+    specs: list[JobSpec] = []
+    arrival = start_time
+    for index, workload in enumerate(workloads):
+        wname = workload.name if isinstance(workload, Workload) else workload
+        specs.append(
+            JobSpec(
+                name=f"{name_prefix}{index}-{wname}",
+                workload=workload,
+                arrival_time=arrival,
+                scheduler=schedulers[index % len(schedulers)],
+                iterations=iterations,
+            )
+        )
+        arrival += rng.expovariate(1.0 / mean_interarrival)
+    return specs

@@ -1,0 +1,147 @@
+"""Per-job and cluster-wide metrics for multi-job simulations.
+
+The scheduling literature's standard quantities:
+
+* **JCT** (job completion time) — finish minus arrival, per job;
+* **slowdown** — JCT divided by the job's *isolated* JCT (same job, same
+  platform, nobody else on the network); 1.0 means contention cost nothing;
+* **makespan** — first arrival to last finish, cluster-wide;
+* **utilization** — the paper's Sec. 3 per-dimension BW utilization of the
+  shared network over its communication-active window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import format_table, ms, pct, ratio
+from ..sim.stats import UtilizationReport
+from ..training.results import IterationBreakdown
+from ..units import fmt_time
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job in a cluster run."""
+
+    name: str
+    workload_name: str
+    scheduler_name: str
+    arrival_time: float
+    finish_time: float
+    iterations: list[IterationBreakdown] = field(default_factory=list)
+    #: Time this job had at least one collective in flight on the network.
+    comm_active_seconds: float = 0.0
+    #: The job's completion time when run alone on the same platform with
+    #: the same scheduler; ``None`` when the isolated baseline was skipped.
+    isolated_time: float | None = None
+
+    @property
+    def jct(self) -> float:
+        """Job completion time: finish minus arrival."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def slowdown(self) -> float | None:
+        """JCT relative to the isolated run (``None`` if not computed)."""
+        if self.isolated_time is None or self.isolated_time <= 0:
+            return None
+        return self.jct / self.isolated_time
+
+    @property
+    def breakdown(self) -> IterationBreakdown:
+        """Summed breakdown over the job's iterations."""
+        combined = IterationBreakdown()
+        for iteration in self.iterations:
+            combined = combined + iteration
+        return combined
+
+
+@dataclass
+class ClusterReport:
+    """Results of one multi-job cluster simulation."""
+
+    topology_name: str
+    jobs: list[JobOutcome]
+    #: Shared-network BW utilization over the comm-active window (``None``
+    #: when no communication happened).
+    utilization: UtilizationReport | None = None
+    #: Cluster-wide communication-active time (any tenant in flight).
+    comm_active_seconds: float = 0.0
+
+    def job(self, name: str) -> JobOutcome:
+        for outcome in self.jobs:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no job named {name!r}")
+
+    @property
+    def makespan(self) -> float:
+        """First arrival to last finish."""
+        start = min(job.arrival_time for job in self.jobs)
+        end = max(job.finish_time for job in self.jobs)
+        return end - start
+
+    @property
+    def mean_jct(self) -> float:
+        return sum(job.jct for job in self.jobs) / len(self.jobs)
+
+    @property
+    def max_jct(self) -> float:
+        return max(job.jct for job in self.jobs)
+
+    def _slowdowns(self) -> list[float]:
+        return [job.slowdown for job in self.jobs if job.slowdown is not None]
+
+    @property
+    def mean_slowdown(self) -> float | None:
+        values = self._slowdowns()
+        return sum(values) / len(values) if values else None
+
+    @property
+    def max_slowdown(self) -> float | None:
+        values = self._slowdowns()
+        return max(values) if values else None
+
+    def describe(self) -> str:
+        """Human-readable per-job table plus cluster-wide summary."""
+        rows = []
+        for job in sorted(self.jobs, key=lambda j: j.arrival_time):
+            rows.append(
+                (
+                    job.name,
+                    job.workload_name,
+                    job.scheduler_name,
+                    job.arrival_time,
+                    job.jct,
+                    job.isolated_time if job.isolated_time is not None else float("nan"),
+                    job.slowdown if job.slowdown is not None else float("nan"),
+                )
+            )
+        lines = [
+            f"cluster on {self.topology_name}: {len(self.jobs)} job(s)",
+            format_table(
+                ["job", "workload", "sched", "arrival", "JCT",
+                 "isolated", "slowdown"],
+                rows,
+                [str, str, str, ms, ms, ms, ratio],
+                indent="  ",
+            ),
+            f"  makespan {fmt_time(self.makespan)}, "
+            f"mean JCT {fmt_time(self.mean_jct)}, "
+            f"comm-active {fmt_time(self.comm_active_seconds)}",
+        ]
+        if self.mean_slowdown is not None:
+            lines.append(
+                f"  slowdown vs isolated: mean {self.mean_slowdown:.2f}x, "
+                f"max {self.max_slowdown:.2f}x"
+            )
+        if self.utilization is not None:
+            per_dim = ", ".join(
+                f"dim{i + 1}={pct(u)}" for i, u in enumerate(self.utilization.per_dim)
+            )
+            lines.append(
+                f"  BW utilization (comm-active window): "
+                f"avg {pct(self.utilization.average)} [{per_dim}]"
+            )
+        return "\n".join(lines)

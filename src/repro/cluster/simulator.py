@@ -1,0 +1,256 @@
+"""Multi-job cluster simulator: N training jobs on one shared network.
+
+This is the CASSINI/Themis-fair setting: several training jobs arrive over
+time and their collectives contend for the same network dimensions.  Each
+job runs the factored single-job iteration program (:class:`TrainingLoop`)
+but, instead of owning the clock, is driven event-by-event on one shared
+:class:`EventQueue` + :class:`NetworkSimulator`:
+
+* a job's *compute* step schedules its own resumption ``duration`` later;
+* a job's *wait* step parks the job until the awaited collective's
+  completion callback fires;
+* every submission carries the job's scheduler factory (Baseline or Themis
+  — per job), priority, communicator dim-subset, and owner tag, so the
+  shared network interleaves tenants exactly as the paper's intra-dimension
+  policies dictate and attributes comm-active time per job.
+
+Isolated baselines (the slowdown denominator) re-run each job alone on the
+same platform with the same per-job configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from ..core.scheduler import SchedulerFactory
+from ..core.splitter import Splitter
+from ..errors import ConfigError, DeadlockError
+from ..sim.engine import EventQueue
+from ..sim.network import CollectiveResult, NetworkSimulator
+from ..sim.stats import bw_utilization
+from ..topology import Topology
+from ..training.iteration import ComputeStep, TrainingConfig, TrainingLoop, WaitStep
+from ..training.results import IterationBreakdown
+from .jobs import JobSpec
+from .metrics import ClusterReport, JobOutcome
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Training knobs and run options for a cluster simulation.
+
+    ``training`` supplies both the per-job loop knobs (bucketing, overlap,
+    compute model) and the shared-network configuration (intra-dimension
+    policy, fusion, chunk granularity) — the same fields mean the same
+    thing as in a single-job :class:`TrainingSimulator` run, except that
+    ``training.iterations`` is ignored in favor of each job's
+    ``JobSpec.iterations``.  When ``isolated_baselines`` is True, every
+    job is additionally re-run alone so its slowdown can be reported.
+    """
+
+    training: TrainingConfig | None = None
+    isolated_baselines: bool = True
+
+
+class _JobDriver:
+    """Advances one job's :class:`TrainingLoop` on the shared engine.
+
+    The loop's step generator is pulled synchronously until it either
+    computes (resume scheduled ``duration`` later) or waits on a collective
+    that has not completed (resume from the completion callback).
+    """
+
+    def __init__(self, spec: JobSpec, engine: EventQueue) -> None:
+        self.spec = spec
+        self.engine = engine
+        self.loop: TrainingLoop | None = None
+        self.iterations: list[IterationBreakdown] = []
+        self.finish_time: float | None = None
+        self._steps: Iterator[ComputeStep | WaitStep] | None = None
+        self._breakdown = IterationBreakdown()
+        self._waiting: WaitStep | None = None
+        self._wait_start = 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    def bind(self, loop: TrainingLoop) -> None:
+        self.loop = loop
+
+    def start(self) -> None:
+        self.engine.schedule(self.spec.arrival_time, self._begin_iteration)
+
+    # --- driving ------------------------------------------------------------
+    def _begin_iteration(self) -> None:
+        if len(self.iterations) == self.spec.iterations:
+            self.finish_time = self.engine.now
+            return
+        self._breakdown = IterationBreakdown()
+        self._steps = self.loop.iteration_steps()
+        self._advance()
+
+    def _advance(self) -> None:
+        while True:
+            try:
+                step = next(self._steps)
+            except StopIteration:
+                self.iterations.append(self._breakdown)
+                self._begin_iteration()
+                return
+            if isinstance(step, ComputeStep):
+                self._breakdown.add_compute(step.phase, step.duration)
+                self.engine.schedule_after(step.duration, self._advance)
+                return
+            if step.handle.done:
+                continue  # completed while the job was computing: zero stall
+            self._waiting = step
+            self._wait_start = self.engine.now
+            return
+
+    def collective_done(self, result: CollectiveResult) -> None:
+        """Completion callback for every collective this job submitted."""
+        if self._waiting is None or self._waiting.handle is not result:
+            return  # an overlapped collective nobody is parked on (yet)
+        step = self._waiting
+        self._waiting = None
+        self._breakdown.add_stall(
+            step.attribution, self.engine.now - self._wait_start
+        )
+        self._advance()
+
+
+class ClusterSimulator:
+    """Runs a trace of training jobs on one shared platform network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        jobs: Sequence[JobSpec],
+        config: ClusterConfig | None = None,
+    ) -> None:
+        if not jobs:
+            raise ConfigError("a cluster run needs at least one job")
+        names = [spec.name for spec in jobs]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ConfigError(
+                f"duplicate job names: {', '.join(sorted(duplicates))}"
+            )
+        self.topology = topology
+        self.jobs = list(jobs)
+        self.config = config or ClusterConfig()
+        self.training_config = self.config.training or TrainingConfig()
+        self.engine = EventQueue()
+        splitter = Splitter(self.training_config.chunks_per_collective)
+        self.network = NetworkSimulator(
+            topology,
+            scheduler=SchedulerFactory("themis", splitter=splitter),
+            policy=self.training_config.policy,
+            fusion=self.training_config.fusion,
+            engine=self.engine,
+        )
+        self._drivers: list[_JobDriver] = []
+        for spec in self.jobs:
+            driver = _JobDriver(spec, self.engine)
+            loop = TrainingLoop(
+                spec.resolve_workload(),
+                topology,
+                self.network,
+                self.engine,
+                self.training_config,
+                scheduler_factory=SchedulerFactory(
+                    spec.scheduler, splitter=splitter
+                ),
+                dim_indices=spec.dim_indices,
+                priority_boost=spec.priority,
+                owner=spec.name,
+                on_collective_complete=driver.collective_done,
+            )
+            driver.bind(loop)
+            self._drivers.append(driver)
+
+    def run(self, max_events: int | None = None) -> ClusterReport:
+        """Run all jobs to completion and collect per-job/cluster metrics."""
+        for driver in self._drivers:
+            driver.start()
+        self.engine.run(max_events=max_events)
+        unfinished = sorted(
+            driver.spec.name for driver in self._drivers if not driver.finished
+        )
+        if unfinished:
+            raise DeadlockError(
+                f"{len(unfinished)} job(s) never completed: "
+                f"{', '.join(unfinished)}"
+            )
+        submitted = sum(d.loop.collectives_issued for d in self._drivers)
+        result = self.network.result() if submitted else None
+        utilization = None
+        comm_active = 0.0
+        if result is not None and result.comm_active_seconds > 0:
+            utilization = bw_utilization(result)
+            comm_active = result.comm_active_seconds
+        outcomes = []
+        for driver in self._drivers:
+            spec = driver.spec
+            outcomes.append(
+                JobOutcome(
+                    name=spec.name,
+                    workload_name=spec.workload_name,
+                    scheduler_name=spec.scheduler_label,
+                    arrival_time=spec.arrival_time,
+                    finish_time=driver.finish_time,
+                    iterations=driver.iterations,
+                    comm_active_seconds=(
+                        result.comm_active_seconds_for(spec.name)
+                        if result is not None
+                        else 0.0
+                    ),
+                )
+            )
+        if self.config.isolated_baselines:
+            # Jobs with identical configuration share one isolated run.  A
+            # registry name always resolves to the same workload; distinct
+            # Workload instances are only deduplicated by identity.
+            # Priority is irrelevant alone on the network, so it is not
+            # part of the key.
+            cache: dict[tuple, float] = {}
+            for spec, outcome in zip(self.jobs, outcomes):
+                key = (
+                    spec.workload
+                    if isinstance(spec.workload, str)
+                    else id(spec.workload),
+                    spec.scheduler.lower(),
+                    spec.iterations,
+                    spec.dim_indices,
+                )
+                if key not in cache:
+                    cache[key] = isolated_jct(self.topology, spec, self.config)
+                outcome.isolated_time = cache[key]
+        return ClusterReport(
+            topology_name=self.topology.name,
+            jobs=outcomes,
+            utilization=utilization,
+            comm_active_seconds=comm_active,
+        )
+
+
+def isolated_jct(
+    topology: Topology, spec: JobSpec, config: ClusterConfig | None = None
+) -> float:
+    """JCT of ``spec`` run alone on ``topology`` (the slowdown denominator)."""
+    solo_config = replace(
+        config or ClusterConfig(), isolated_baselines=False
+    )
+    solo = ClusterSimulator(topology, [spec.at_arrival(0.0)], solo_config)
+    return solo.run().jobs[0].jct
+
+
+def run_cluster(
+    topology: Topology,
+    jobs: Sequence[JobSpec],
+    config: ClusterConfig | None = None,
+) -> ClusterReport:
+    """One-call convenience wrapper around :class:`ClusterSimulator`."""
+    return ClusterSimulator(topology, jobs, config).run()

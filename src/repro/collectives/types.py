@@ -82,6 +82,11 @@ class CollectiveRequest:
         higher-priority ops are preferred by the intra-dimension policies
         (like NCCL priority streams).  Blocking model-parallel collectives
         typically outrank asynchronous data-parallel gradient traffic.
+    owner:
+        Identity of the tenant (training job) this collective belongs to.
+        The network simulator keeps per-owner communication-active
+        intervals so multi-job cluster runs can attribute network time to
+        individual jobs.  Empty string for single-tenant simulations.
     request_id:
         Monotonically increasing issue identifier (FIFO tie-breaking across
         collectives).
@@ -93,6 +98,7 @@ class CollectiveRequest:
     dim_indices: tuple[int, ...] | None = None
     peer_counts: tuple[int, ...] | None = None
     priority: int = 0
+    owner: str = ""
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
     def __post_init__(self) -> None:

@@ -1,5 +1,6 @@
 """Experiment harnesses regenerating every paper figure and table."""
 
+from .cluster_contention import ClusterContentionResult, run_cluster_contention
 from .fig4 import Fig4Result, run_fig4
 from .fig5 import Fig5Result, run_fig5
 from .fig8 import Fig8Result, run_fig8
@@ -18,6 +19,8 @@ __all__ = [
     "run_fig11",
     "run_fig12",
     "run_headline",
+    "run_cluster_contention",
+    "ClusterContentionResult",
     "Fig4Result",
     "Fig5Result",
     "Fig8Result",

@@ -69,18 +69,29 @@ class EventQueue:
         """Run until no events remain (or ``max_events`` fired).
 
         ``max_events`` guards against accidental infinite self-rescheduling
-        loops in experiments; production callers leave it ``None``.
+        loops in experiments; production callers leave it ``None``.  The
+        budget is only *exhausted* when events are still pending after
+        ``max_events`` callbacks fired — a simulation that legitimately
+        finishes in exactly ``max_events`` events completes normally.
         """
         fired = 0
         while self.step():
             fired += 1
             if max_events is not None and fired >= max_events:
-                raise SimulationError(
-                    f"event budget exhausted after {max_events} events"
-                )
+                if self._heap:
+                    raise SimulationError(
+                        f"event budget exhausted: {len(self._heap)} event(s) "
+                        f"still pending after {max_events} fired"
+                    )
+                return
 
     def run_until(self, time: float) -> None:
-        """Fire all events strictly up to ``time``, then advance ``now``."""
+        """Fire all events up to and including ``time``, then advance ``now``.
+
+        Events scheduled exactly at ``time`` do fire (the comparison is
+        ``<=``): callers use this to advance a compute clock while letting
+        network completions at the boundary instant land first.
+        """
         while self._heap and self._heap[0][0] <= time:
             self.step()
         if time > self.now:

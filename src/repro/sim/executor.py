@@ -195,16 +195,18 @@ class DimensionChannel:
                 )
             self._active_since = None
 
-    def finalize_activity(self) -> None:
-        """Close any open activity interval at end of simulation."""
-        self._update_activity()
-        if self._active_since is not None:  # pragma: no cover - defensive
-            now = self.engine.now
-            if now > self._active_since:
-                self.stats.activity_intervals.append(
-                    Interval(self._active_since, now)
-                )
-            self._active_since = None
+    def snapshot_activity(self) -> list[Interval]:
+        """Closed activity intervals plus any still-open one up to ``now``.
+
+        Non-destructive: the open interval (a dimension mid-transfer) is
+        closed *in the returned copy only*, so ``NetworkSimulator.result()``
+        can snapshot a live simulation without corrupting the accounting of
+        the remainder of the run.
+        """
+        intervals = list(self.stats.activity_intervals)
+        if self._active_since is not None and self.engine.now > self._active_since:
+            intervals.append(Interval(self._active_since, self.engine.now))
+        return intervals
 
     # --- enforced orders (schedule consistency, Sec. 4.6.2) ---------------
     def set_enforced_order(

@@ -53,7 +53,12 @@ class CollectiveResult:
 
 @dataclass
 class ExecutionResult:
-    """Everything a finished simulation exposes to analysis code."""
+    """Everything a simulation (finished or snapshotted) exposes to analysis.
+
+    Produced by :meth:`NetworkSimulator.result`, which may be called mid-run:
+    unfinished collectives then appear in ``collectives`` with a NaN
+    ``completion_time`` and are excluded from the aggregate timings below.
+    """
 
     topology: Topology
     records: list[OpRecord]
@@ -63,6 +68,20 @@ class ExecutionResult:
     dim_bytes: list[float]
     dim_activity: list[list[Interval]]
     comm_active_intervals: list[Interval]
+    #: Communication-active intervals per tenant (``request.owner``); the
+    #: multi-job cluster simulator uses this to attribute network time to
+    #: individual jobs.  Single-tenant runs have one ``""`` entry.
+    comm_active_by_owner: dict[str, list[Interval]] = field(default_factory=dict)
+
+    @property
+    def completed_collectives(self) -> list[CollectiveResult]:
+        """The collectives that finished by the time of this snapshot."""
+        return [c for c in self.collectives if c.done]
+
+    @property
+    def pending_collectives(self) -> int:
+        """How many submitted collectives had not completed at snapshot time."""
+        return sum(1 for c in self.collectives if not c.done)
 
     @property
     def start_time(self) -> float:
@@ -70,17 +89,52 @@ class ExecutionResult:
 
     @property
     def completion_time(self) -> float:
-        return max(c.completion_time for c in self.collectives)
+        """Latest completion among *finished* collectives.
+
+        Unfinished collectives carry ``completion_time = NaN``, and Python's
+        ``max()`` over NaN is order-dependent — it would silently yield
+        garbage for a mid-run snapshot.  They are skipped instead, and a
+        snapshot in which nothing has completed raises a clear error.
+        """
+        done = [c.completion_time for c in self.collectives if c.done]
+        if not done:
+            raise SimulationError(
+                "no collective has completed in this snapshot; "
+                "completion_time/makespan are undefined until at least one "
+                "collective finishes"
+            )
+        return max(done)
 
     @property
     def makespan(self) -> float:
-        """Wall time from first issue to last completion."""
+        """Wall time from first issue to last (finished) completion."""
         return self.completion_time - self.start_time
 
     @property
     def comm_active_seconds(self) -> float:
         """Total time with at least one pending collective (paper Sec. 3)."""
         return total_length(self.comm_active_intervals)
+
+    def comm_active_seconds_for(self, owner: str) -> float:
+        """Total time ``owner`` had at least one collective in flight."""
+        return total_length(self.comm_active_by_owner.get(owner, []))
+
+
+def _check_not_past(
+    engine: EventQueue, request: CollectiveRequest, issue_time: float
+) -> None:
+    """Reject submissions dated before the current simulation time.
+
+    Without this, a stale ``at_time`` only surfaces later as a confusing
+    scheduling error deep inside :class:`EventQueue`.
+    """
+    if issue_time < engine.now - 1e-15:
+        raise SimulationError(
+            f"cannot submit {request.ctype.value} request "
+            f"{request.request_id} (tag={request.tag!r}, "
+            f"owner={request.owner!r}) at past time {issue_time}: "
+            f"simulation time is already {engine.now}"
+        )
 
 
 class _CollectiveState:
@@ -156,6 +210,9 @@ class NetworkSimulator:
         self._inflight = 0
         self._comm_active_since: float | None = None
         self._comm_active: list[Interval] = []
+        self._owner_inflight: dict[str, int] = {}
+        self._owner_active_since: dict[str, float] = {}
+        self._owner_active: dict[str, list[Interval]] = {}
 
     # --- submission ---------------------------------------------------------
     def submit(
@@ -163,16 +220,25 @@ class NetworkSimulator:
         request: CollectiveRequest,
         at_time: float | None = None,
         on_complete: Callable[[CollectiveResult], None] | None = None,
+        scheduler: SchedulerFactory | None = None,
     ) -> CollectiveResult:
         """Issue a collective at ``at_time`` (default: current sim time).
+
+        ``scheduler`` optionally overrides the simulator-wide factory for
+        this one request — multi-tenant callers (the cluster simulator) use
+        it to give each job its own scheduling policy on the shared network.
 
         Returns the (initially incomplete) :class:`CollectiveResult`; its
         ``completion_time`` is filled in when the collective finishes.
         """
         issue_time = self.engine.now if at_time is None else at_time
+        _check_not_past(self.engine, request, issue_time)
         result = CollectiveResult(request=request, plan=None, issue_time=issue_time)
         self._results.append(result)
-        self.engine.schedule(issue_time, lambda: self._start_collective(result, on_complete))
+        self.engine.schedule(
+            issue_time,
+            lambda: self._start_collective(result, on_complete, scheduler),
+        )
         return result
 
     def _resolve_subtopology(
@@ -203,10 +269,11 @@ class NetworkSimulator:
         self,
         result: CollectiveResult,
         on_complete: Callable[[CollectiveResult], None] | None,
+        scheduler_factory: SchedulerFactory | None = None,
     ) -> None:
         request = result.request
         subtopo, model = self._resolve_subtopology(request)
-        scheduler = self.scheduler_factory.create()
+        scheduler = (scheduler_factory or self.scheduler_factory).create()
         plan = scheduler.plan(request, subtopo, model, issue_time=self.engine.now)
         result.plan = plan
 
@@ -236,7 +303,7 @@ class NetworkSimulator:
 
         state = _CollectiveState(result, chunk_ops, on_complete)
         self._states[request.request_id] = state
-        self._mark_comm_active()
+        self._mark_comm_active(request.owner)
 
         if self.enforce_consistency:
             self._install_enforced_orders(state)
@@ -276,22 +343,32 @@ class NetworkSimulator:
     def _finish_collective(self, state: _CollectiveState) -> None:
         state.result.completion_time = self.engine.now
         del self._states[state.result.request.request_id]
-        self._mark_comm_idle_if_done()
+        self._mark_comm_idle_if_done(state.result.request.owner)
         if state.on_complete is not None:
             state.on_complete(state.result)
 
-    def _mark_comm_active(self) -> None:
+    def _mark_comm_active(self, owner: str) -> None:
         self._inflight += 1
         if self._comm_active_since is None:
             self._comm_active_since = self.engine.now
+        self._owner_inflight[owner] = self._owner_inflight.get(owner, 0) + 1
+        if owner not in self._owner_active_since:
+            self._owner_active_since[owner] = self.engine.now
 
-    def _mark_comm_idle_if_done(self) -> None:
+    def _mark_comm_idle_if_done(self, owner: str) -> None:
+        now = self.engine.now
         self._inflight -= 1
         if self._inflight == 0 and self._comm_active_since is not None:
-            now = self.engine.now
             if now > self._comm_active_since:
                 self._comm_active.append(Interval(self._comm_active_since, now))
             self._comm_active_since = None
+        self._owner_inflight[owner] -= 1
+        if self._owner_inflight[owner] == 0:
+            since = self._owner_active_since.pop(owner)
+            if now > since:
+                self._owner_active.setdefault(owner, []).append(
+                    Interval(since, now)
+                )
 
     # --- running ----------------------------------------------------------------
     def run(self, max_events: int | None = None) -> ExecutionResult:
@@ -305,11 +382,34 @@ class NetworkSimulator:
         return self.result()
 
     def result(self) -> ExecutionResult:
-        """Snapshot results (the engine must be idle for totals to be final)."""
+        """Snapshot results at the current simulation time.
+
+        Safe to call mid-run: open activity/comm-active intervals are
+        closed *in the snapshot only* (internal accounting is untouched, so
+        the simulation can keep running afterwards), and collectives still
+        in flight keep their NaN ``completion_time`` — the aggregate
+        :class:`ExecutionResult` timings skip them.
+
+        Caveat for mid-run use: ``dim_busy_seconds`` / ``dim_bytes`` are
+        batch-granular (credited in full when a batch *starts*), so a
+        snapshot taken while a batch is mid-transfer counts that batch's
+        whole transfer against an active window that has only partially
+        elapsed.  The skew is bounded by one batch per dimension and is
+        zero once the engine is quiescent.
+        """
         if not self._results:
             raise SimulationError("no collectives were submitted")
-        for channel in self.channels:
-            channel.finalize_activity()
+        now = self.engine.now
+        comm_active = list(self._comm_active)
+        if self._comm_active_since is not None and now > self._comm_active_since:
+            comm_active.append(Interval(self._comm_active_since, now))
+        by_owner = {
+            owner: list(intervals)
+            for owner, intervals in self._owner_active.items()
+        }
+        for owner, since in self._owner_active_since.items():
+            if now > since:
+                by_owner.setdefault(owner, []).append(Interval(since, now))
         return ExecutionResult(
             topology=self.topology,
             records=sorted(self._records, key=lambda r: (r.start_time, r.dim_index)),
@@ -318,9 +418,13 @@ class NetworkSimulator:
             dim_busy_seconds=[c.stats.busy_seconds for c in self.channels],
             dim_bytes=[c.stats.bytes_sent for c in self.channels],
             dim_activity=[
-                merge_intervals(c.stats.activity_intervals) for c in self.channels
+                merge_intervals(c.snapshot_activity()) for c in self.channels
             ],
-            comm_active_intervals=merge_intervals(self._comm_active),
+            comm_active_intervals=merge_intervals(comm_active),
+            comm_active_by_owner={
+                owner: merge_intervals(intervals)
+                for owner, intervals in sorted(by_owner.items())
+            },
         )
 
 
@@ -360,6 +464,7 @@ class IdealNetwork:
         on_complete: Callable[[CollectiveResult], None] | None = None,
     ) -> CollectiveResult:
         issue_time = self.engine.now if at_time is None else at_time
+        _check_not_past(self.engine, request, issue_time)
         result = CollectiveResult(request=request, plan=None, issue_time=issue_time)
         self._results.append(result)
 

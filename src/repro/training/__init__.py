@@ -1,10 +1,20 @@
 """End-to-end training-iteration simulation (paper Sec. 5.2 / Fig. 12)."""
 
-from .iteration import TrainingConfig, TrainingSimulator, simulate_training
+from .iteration import (
+    ComputeStep,
+    TrainingConfig,
+    TrainingLoop,
+    TrainingSimulator,
+    WaitStep,
+    simulate_training,
+)
 from .results import IterationBreakdown, TrainingReport
 
 __all__ = [
+    "ComputeStep",
+    "WaitStep",
     "TrainingConfig",
+    "TrainingLoop",
     "TrainingSimulator",
     "simulate_training",
     "IterationBreakdown",

@@ -17,11 +17,19 @@ shared event engine:
 Stall time at waits is attributed to exposed-MP or exposed-DP, reproducing
 Fig. 12's decomposition.  The network can be the real simulator (baseline /
 Themis schedulers) or the Ideal fluid network of Table 3.
+
+The iteration logic itself lives in :class:`TrainingLoop`, which expresses
+one iteration as a lazy sequence of :class:`ComputeStep` / :class:`WaitStep`
+items and leaves the *clock* to its driver.  :class:`TrainingSimulator`
+drives a single job synchronously (it owns the engine, so it can simply run
+it forward); the multi-job cluster simulator (``repro.cluster``) drives many
+loops event-by-event on one shared engine and network.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from ..collectives.types import CollectiveRequest, CollectiveType
 from ..core.scheduler import SchedulerFactory
@@ -86,6 +94,248 @@ class TrainingConfig:
             )
 
 
+@dataclass(frozen=True)
+class ComputeStep:
+    """Advance the job's compute clock by ``duration`` seconds.
+
+    ``phase`` is ``"fwd"`` or ``"bwd"`` so drivers can attribute the time
+    to the right breakdown bar.
+    """
+
+    duration: float
+    phase: str
+
+
+@dataclass(frozen=True)
+class WaitStep:
+    """Block the job until ``handle`` completes.
+
+    The stall (time from reaching this step to the handle's completion) is
+    attributed to ``"mp"`` or ``"dp"`` exposed communication.
+    """
+
+    handle: CollectiveResult
+    attribution: str
+
+
+class TrainingLoop:
+    """One training job's iteration program on a (possibly shared) network.
+
+    Holds all per-job state — communicator plan, gradient buckets, async
+    handles — and yields the job's timeline as :class:`ComputeStep` /
+    :class:`WaitStep` items from :meth:`iteration_steps`.  The generator
+    submits collectives as its driver reaches the matching points in
+    simulated time, so it must only be advanced while the shared engine
+    clock sits at the job's current position.
+
+    Parameters
+    ----------
+    workload / platform / network / engine / config:
+        As for :class:`TrainingSimulator`; ``network`` and ``engine`` may be
+        shared with other loops (multi-job cluster simulation).
+    scheduler_factory:
+        Optional per-job :class:`SchedulerFactory` passed through on every
+        submission, overriding the shared network's default scheduler.
+    dim_indices:
+        Restrict the job's communicators to this subset of the platform's
+        dimensions (the job's slice of the cluster).  The workload's
+        parallelism plan is computed on the sub-topology and its scopes are
+        translated back to platform dimensions at submission time.
+    priority_boost:
+        Added to every request's priority (cluster job priorities).
+    owner:
+        Tenant identity stamped on every request for per-job comm-active
+        accounting.
+    on_collective_complete:
+        Optional callback invoked with each finished
+        :class:`CollectiveResult`; event-driven drivers use it to resume.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        platform: Topology,
+        network: NetworkSimulator | IdealNetwork,
+        engine: EventQueue,
+        config: TrainingConfig | None = None,
+        *,
+        scheduler_factory: SchedulerFactory | None = None,
+        dim_indices: tuple[int, ...] | None = None,
+        priority_boost: int = 0,
+        owner: str = "",
+        on_collective_complete: Callable[[CollectiveResult], None] | None = None,
+    ) -> None:
+        self.workload = workload
+        self.platform = platform
+        self.network = network
+        self.engine = engine
+        self.config = config or TrainingConfig()
+        self.scheduler_factory = scheduler_factory
+        self.dim_indices = tuple(dim_indices) if dim_indices is not None else None
+        self.priority_boost = priority_boost
+        self.owner = owner
+        self.on_collective_complete = on_collective_complete
+        if self.dim_indices is None:
+            self.topology = platform
+        else:
+            self.topology = platform.subset(
+                self.dim_indices, name=f"{platform.name}[{owner or 'job'}]"
+            )
+        self.plan = workload.plan(self.topology)
+        self._async_handles: dict[str, CollectiveResult] = {}
+        self._dp_handles: list[CollectiveResult] = []
+        self._dp_bucket = 0.0
+        self._dp_bucket_sizes: list[float] = []
+        self._deferred_dp: list[float] = []
+        self.collectives_issued = 0
+
+    # --- low-level helpers ---------------------------------------------------
+    def _scope_fields(self, scope: CommScope | None) -> dict:
+        """Translate a plan scope (job-local dims) to platform dims."""
+        if scope is None or scope.dim_indices is None:
+            if self.dim_indices is None:
+                return {"dim_indices": None, "peer_counts": None}
+            return {"dim_indices": self.dim_indices, "peer_counts": None}
+        local = tuple(scope.dim_indices)
+        if self.dim_indices is not None:
+            parents = tuple(self.dim_indices[i] for i in local)
+        else:
+            parents = local
+        return {"dim_indices": parents, "peer_counts": scope.peer_counts}
+
+    def _submit(
+        self, ctype: CollectiveType, size: float, scope: CommScope | None, tag: str
+    ) -> CollectiveResult:
+        priority = self.priority_boost + (
+            self.config.mp_priority if tag == "MP" else 0
+        )
+        request = CollectiveRequest(
+            ctype=ctype, size=size, tag=tag, priority=priority, owner=self.owner,
+            **self._scope_fields(scope),
+        )
+        self.collectives_issued += 1
+        kwargs: dict = {"at_time": self.engine.now}
+        if self.on_collective_complete is not None:
+            kwargs["on_complete"] = self.on_collective_complete
+        if self.scheduler_factory is not None and isinstance(
+            self.network, NetworkSimulator
+        ):
+            kwargs["scheduler"] = self.scheduler_factory
+        return self.network.submit(request, **kwargs)
+
+    # --- comm attachment handling -------------------------------------------
+    def _mp_scope(self) -> CommScope | None:
+        """Model-parallel collectives span the MP group (or all dims)."""
+        return self.plan.mp
+
+    def _attachment_steps(
+        self, attachment: CommAttachment
+    ) -> Iterator[WaitStep]:
+        handle = self._submit(
+            attachment.ctype, attachment.size, self._mp_scope(), tag="MP"
+        )
+        if attachment.blocking:
+            yield WaitStep(handle, "mp")
+        else:
+            self._async_handles[attachment.label] = handle
+
+    def _take_async(self, label: str) -> CollectiveResult:
+        handle = self._async_handles.pop(label, None)
+        if handle is None:
+            raise SimulationError(
+                f"wait label {label!r} has no outstanding collective"
+            )
+        return handle
+
+    # --- data-parallel gradient buckets ---------------------------------------
+    def _dp_degree(self) -> int:
+        return self.plan.dp_degree(self.topology)
+
+    def _submit_dp_bucket(self, size: float) -> None:
+        self._dp_bucket_sizes.append(size)
+        ctype = (
+            CollectiveType.REDUCE_SCATTER
+            if self.workload.dp_style == "zero2"
+            else CollectiveType.ALL_REDUCE
+        )
+        self._dp_handles.append(self._submit(ctype, size, self.plan.dp, tag="DP"))
+
+    def _flush_dp_bucket(self) -> None:
+        if self._dp_bucket <= 0 or self.plan.dp is None:
+            self._dp_bucket = 0.0
+            return
+        size = self._dp_bucket
+        self._dp_bucket = 0.0
+        if self.config.overlap_dp:
+            self._submit_dp_bucket(size)
+        else:
+            self._deferred_dp.append(size)
+
+    def _accumulate_dp(self, layer: Layer) -> None:
+        if layer.param_bytes <= 0 or self.plan.dp is None:
+            return
+        self._dp_bucket += layer.param_bytes
+        bucket_limit = self.config.dp_bucket_bytes
+        if bucket_limit is None or self._dp_bucket >= bucket_limit:
+            self._flush_dp_bucket()
+
+    def _finish_dp_steps(self) -> Iterator[WaitStep]:
+        self._flush_dp_bucket()
+        for size in self._deferred_dp:
+            self._submit_dp_bucket(size)
+        self._deferred_dp.clear()
+        if self.workload.dp_style == "zero2" and self.plan.dp is not None:
+            # ZeRO-2: gather the updated parameter shards before the next
+            # iteration.  Each NPU holds bucket/dp_degree after the RS.
+            degree = self._dp_degree()
+            for size in self._dp_bucket_sizes:
+                self._dp_handles.append(
+                    self._submit(
+                        CollectiveType.ALL_GATHER,
+                        size / degree,
+                        self.plan.dp,
+                        tag="DP",
+                    )
+                )
+        for handle in self._dp_handles:
+            yield WaitStep(handle, "dp")
+        self._dp_handles.clear()
+        self._dp_bucket_sizes.clear()
+
+    # --- iteration program ------------------------------------------------------
+    def iteration_steps(self) -> Iterator[ComputeStep | WaitStep]:
+        """One training iteration as a lazy compute/wait step sequence."""
+        compute = self.config.compute
+
+        # Forward pass.
+        for layer in self.workload.layers:
+            if layer.fwd_wait_label:
+                yield WaitStep(self._take_async(layer.fwd_wait_label), "mp")
+            yield ComputeStep(
+                compute.time_for(layer.fwd_flops, layer.fwd_mem_bytes), "fwd"
+            )
+            if layer.fwd_comm is not None:
+                yield from self._attachment_steps(layer.fwd_comm)
+
+        # Backward pass (reverse layer order).
+        for layer in reversed(self.workload.layers):
+            if layer.bwd_wait_label:
+                yield WaitStep(self._take_async(layer.bwd_wait_label), "mp")
+            yield ComputeStep(
+                compute.time_for(layer.bwd_flops, layer.bwd_mem_bytes), "bwd"
+            )
+            if layer.bwd_comm is not None:
+                yield from self._attachment_steps(layer.bwd_comm)
+            self._accumulate_dp(layer)
+
+        # Gradient synchronization completes before the next iteration.
+        yield from self._finish_dp_steps()
+        if self._async_handles:
+            raise SimulationError(
+                f"unawaited async collectives: {sorted(self._async_handles)}"
+            )
+
+
 class TrainingSimulator:
     """Simulates training iterations of one workload on one platform."""
 
@@ -126,34 +376,12 @@ class TrainingSimulator:
             self.scheduler_name = (
                 f"{base}+{policy_tag}" if base == "Themis" else base
             )
-        self.plan = workload.plan(topology)
-        self._async_handles: dict[str, CollectiveResult] = {}
-        self._dp_handles: list[CollectiveResult] = []
-        self._dp_bucket = 0.0
-        self._dp_bucket_sizes: list[float] = []
-        self._deferred_dp: list[float] = []
-        self._collectives_issued = 0
-
-    # --- low-level helpers ---------------------------------------------------
-    def _scope_fields(self, scope: CommScope | None) -> dict:
-        if scope is None or scope.dim_indices is None:
-            return {"dim_indices": None, "peer_counts": None}
-        return {
-            "dim_indices": tuple(scope.dim_indices),
-            "peer_counts": scope.peer_counts,
-        }
-
-    def _submit(
-        self, ctype: CollectiveType, size: float, scope: CommScope | None, tag: str
-    ) -> CollectiveResult:
-        priority = self.config.mp_priority if tag == "MP" else 0
-        request = CollectiveRequest(
-            ctype=ctype, size=size, tag=tag, priority=priority,
-            **self._scope_fields(scope),
+        self.loop = TrainingLoop(
+            workload, topology, self.network, self.engine, self.config
         )
-        self._collectives_issued += 1
-        return self.network.submit(request, at_time=self.engine.now)
+        self.plan = self.loop.plan
 
+    # --- clock driving --------------------------------------------------------
     def _advance_compute(self, duration: float) -> None:
         """Advance the NPU's compute clock, letting network events fire."""
         if duration < 0:
@@ -175,117 +403,15 @@ class TrainingSimulator:
         self.engine.run_until(end)
         return end - start
 
-    # --- comm attachment handling -------------------------------------------
-    def _mp_scope(self) -> CommScope | None:
-        """Model-parallel collectives span the MP group (or all dims)."""
-        return self.plan.mp
-
-    def _handle_attachment(
-        self, attachment: CommAttachment, breakdown: IterationBreakdown
-    ) -> None:
-        handle = self._submit(
-            attachment.ctype, attachment.size, self._mp_scope(), tag="MP"
-        )
-        if attachment.blocking:
-            breakdown.exposed_mp += self._wait(handle)
-        else:
-            self._async_handles[attachment.label] = handle
-
-    def _handle_wait_label(self, label: str, breakdown: IterationBreakdown) -> None:
-        handle = self._async_handles.pop(label, None)
-        if handle is None:
-            raise SimulationError(
-                f"wait label {label!r} has no outstanding collective"
-            )
-        breakdown.exposed_mp += self._wait(handle)
-
-    # --- data-parallel gradient buckets ---------------------------------------
-    def _dp_degree(self) -> int:
-        return self.plan.dp_degree(self.topology)
-
-    def _submit_dp_bucket(self, size: float) -> None:
-        self._dp_bucket_sizes.append(size)
-        ctype = (
-            CollectiveType.REDUCE_SCATTER
-            if self.workload.dp_style == "zero2"
-            else CollectiveType.ALL_REDUCE
-        )
-        self._dp_handles.append(self._submit(ctype, size, self.plan.dp, tag="DP"))
-
-    def _flush_dp_bucket(self) -> None:
-        if self._dp_bucket <= 0 or self.plan.dp is None:
-            self._dp_bucket = 0.0
-            return
-        size = self._dp_bucket
-        self._dp_bucket = 0.0
-        if self.config.overlap_dp:
-            self._submit_dp_bucket(size)
-        else:
-            self._deferred_dp.append(size)
-
-    def _accumulate_dp(self, layer: Layer) -> None:
-        if layer.param_bytes <= 0 or self.plan.dp is None:
-            return
-        self._dp_bucket += layer.param_bytes
-        bucket_limit = self.config.dp_bucket_bytes
-        if bucket_limit is None or self._dp_bucket >= bucket_limit:
-            self._flush_dp_bucket()
-
-    def _finish_dp(self, breakdown: IterationBreakdown) -> None:
-        self._flush_dp_bucket()
-        for size in self._deferred_dp:
-            self._submit_dp_bucket(size)
-        self._deferred_dp.clear()
-        if self.workload.dp_style == "zero2" and self.plan.dp is not None:
-            # ZeRO-2: gather the updated parameter shards before the next
-            # iteration.  Each NPU holds bucket/dp_degree after the RS.
-            degree = self._dp_degree()
-            for size in self._dp_bucket_sizes:
-                self._dp_handles.append(
-                    self._submit(
-                        CollectiveType.ALL_GATHER,
-                        size / degree,
-                        self.plan.dp,
-                        tag="DP",
-                    )
-                )
-        for handle in self._dp_handles:
-            breakdown.exposed_dp += self._wait(handle)
-        self._dp_handles.clear()
-        self._dp_bucket_sizes.clear()
-
     # --- iteration driver ------------------------------------------------------
     def _run_iteration(self) -> IterationBreakdown:
         breakdown = IterationBreakdown()
-        compute = self.config.compute
-
-        # Forward pass.
-        for layer in self.workload.layers:
-            if layer.fwd_wait_label:
-                self._handle_wait_label(layer.fwd_wait_label, breakdown)
-            duration = compute.time_for(layer.fwd_flops, layer.fwd_mem_bytes)
-            self._advance_compute(duration)
-            breakdown.fwd_compute += duration
-            if layer.fwd_comm is not None:
-                self._handle_attachment(layer.fwd_comm, breakdown)
-
-        # Backward pass (reverse layer order).
-        for layer in reversed(self.workload.layers):
-            if layer.bwd_wait_label:
-                self._handle_wait_label(layer.bwd_wait_label, breakdown)
-            duration = compute.time_for(layer.bwd_flops, layer.bwd_mem_bytes)
-            self._advance_compute(duration)
-            breakdown.bwd_compute += duration
-            if layer.bwd_comm is not None:
-                self._handle_attachment(layer.bwd_comm, breakdown)
-            self._accumulate_dp(layer)
-
-        # Gradient synchronization completes before the next iteration.
-        self._finish_dp(breakdown)
-        if self._async_handles:
-            raise SimulationError(
-                f"unawaited async collectives: {sorted(self._async_handles)}"
-            )
+        for step in self.loop.iteration_steps():
+            if isinstance(step, ComputeStep):
+                self._advance_compute(step.duration)
+                breakdown.add_compute(step.phase, step.duration)
+            else:
+                breakdown.add_stall(step.attribution, self._wait(step.handle))
         return breakdown
 
     def run(self) -> TrainingReport:
@@ -298,8 +424,8 @@ class TrainingSimulator:
         for _ in range(self.config.iterations):
             report.iterations.append(self._run_iteration())
         self.engine.run()  # drain any same-instant residue
-        report.collective_count = self._collectives_issued
-        if isinstance(self.network, NetworkSimulator) and self._collectives_issued:
+        report.collective_count = self.loop.collectives_issued
+        if isinstance(self.network, NetworkSimulator) and self.loop.collectives_issued:
             result = self.network.result()
             report.avg_bw_utilization = bw_utilization(result).average
         return report

@@ -36,6 +36,28 @@ class IterationBreakdown:
     def compute(self) -> float:
         return self.fwd_compute + self.bwd_compute
 
+    def add_compute(self, phase: str, duration: float) -> None:
+        """Accumulate compute time under ``"fwd"`` or ``"bwd"``.
+
+        Shared by the synchronous and event-driven loop drivers so both
+        bucket :class:`ComputeStep` phases identically.
+        """
+        if phase == "fwd":
+            self.fwd_compute += duration
+        elif phase == "bwd":
+            self.bwd_compute += duration
+        else:
+            raise ValueError(f"unknown compute phase {phase!r}")
+
+    def add_stall(self, attribution: str, duration: float) -> None:
+        """Accumulate an exposed-communication stall under ``"mp"``/``"dp"``."""
+        if attribution == "mp":
+            self.exposed_mp += duration
+        elif attribution == "dp":
+            self.exposed_dp += duration
+        else:
+            raise ValueError(f"unknown stall attribution {attribution!r}")
+
     def as_row(self) -> dict[str, float]:
         """Flat dict used by table renderers."""
         return {

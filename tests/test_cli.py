@@ -53,6 +53,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "DLRM" in out and "Ideal" in out
 
+    def test_cluster(self, capsys):
+        code = main(
+            ["cluster", "--jobs", "2", "--workloads", "dlrm",
+             "--interarrival-ms", "1.0", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "Themis" in out
+        assert "slowdown" in out and "makespan" in out
+
+    def test_cluster_bad_workload(self, capsys):
+        assert main(["cluster", "--workloads", "not-a-model"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_cluster_zero_jobs_names_the_flag(self, capsys):
+        assert main(["cluster", "--jobs", "0"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cluster_bad_interarrival_names_the_flag(self, capsys):
+        assert main(["cluster", "--interarrival-ms", "-2"]) == 1
+        assert "--interarrival-ms" in capsys.readouterr().err
+
+    def test_cluster_zero_iterations_names_the_flag(self, capsys):
+        assert main(["cluster", "--iterations", "0"]) == 1
+        assert "--iterations" in capsys.readouterr().err
+
     def test_provisioning(self, capsys):
         assert main(["provisioning", "--topology", "3D-SW_SW_SW_hetero"]) == 0
         out = capsys.readouterr().out

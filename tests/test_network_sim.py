@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.collectives import CollectiveRequest, CollectiveType
@@ -187,6 +189,157 @@ class TestConcurrentCollectives:
         sim.run()
         assert len(seen) == 1
         assert seen[0] == pytest.approx(sim.engine.now)
+
+
+class TestMidRunSnapshots:
+    def test_snapshot_skips_unfinished_collectives(self, asymmetric_3d):
+        """A snapshot with a collective still in flight must not propagate
+        the in-flight NaN completion time into makespan."""
+        sim = NetworkSimulator(
+            asymmetric_3d, SchedulerFactory("themis", splitter=Splitter(2))
+        )
+        first = sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        sim.run()  # first completes
+        finish = sim.engine.now
+        second = sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB),
+            at_time=finish + 1e-4,
+        )
+        sim.engine.run_until(finish + 1e-4 + 1e-9)  # second now in flight
+        snapshot = sim.result()
+        assert not second.done
+        assert snapshot.pending_collectives == 1
+        assert len(snapshot.completed_collectives) == 1
+        assert snapshot.completion_time == pytest.approx(first.completion_time)
+        assert not math.isnan(snapshot.makespan)
+
+    def test_snapshot_with_nothing_finished_raises(self, asymmetric_3d):
+        sim = NetworkSimulator(asymmetric_3d)
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        snapshot = sim.result()  # nothing has run yet
+        with pytest.raises(SimulationError, match="no collective has completed"):
+            snapshot.completion_time
+
+    def test_snapshot_is_non_destructive(self, asymmetric_3d):
+        """Snapshotting mid-run must not corrupt the remaining accounting."""
+
+        def build():
+            sim = NetworkSimulator(
+                asymmetric_3d, SchedulerFactory("themis", splitter=Splitter(4))
+            )
+            sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+            return sim
+
+        clean = build().run()
+        sim = build()
+        for _ in range(5):  # stop mid-flight
+            sim.engine.step()
+        sim.result()  # mid-run snapshot
+        final = sim.run()
+        assert final.comm_active_seconds == pytest.approx(
+            clean.comm_active_seconds
+        )
+        final_activity = sum(
+            iv.length for ivs in final.dim_activity for iv in ivs
+        )
+        clean_activity = sum(
+            iv.length for ivs in clean.dim_activity for iv in ivs
+        )
+        assert final_activity == pytest.approx(clean_activity)
+
+
+class TestSubmissionValidation:
+    def test_submit_past_time_raises(self, asymmetric_3d):
+        sim = NetworkSimulator(asymmetric_3d)
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        sim.run()
+        assert sim.engine.now > 0
+        with pytest.raises(SimulationError, match="past time"):
+            sim.submit(
+                CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB, tag="late"),
+                at_time=0.0,
+            )
+
+    def test_past_time_error_names_the_request(self, asymmetric_3d):
+        sim = NetworkSimulator(asymmetric_3d)
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        sim.run()
+        with pytest.raises(SimulationError, match="tag='late'"):
+            sim.submit(
+                CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB, tag="late"),
+                at_time=0.0,
+            )
+
+    def test_ideal_submit_past_time_raises(self, asymmetric_3d):
+        net = IdealNetwork(asymmetric_3d)
+        net.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        net.run()
+        with pytest.raises(SimulationError, match="past time"):
+            net.submit(
+                CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB),
+                at_time=0.0,
+            )
+
+
+class TestCommActiveAccounting:
+    def test_overlapping_collectives_merge(self, asymmetric_3d):
+        """Two collectives in flight together yield one active interval."""
+        sim = NetworkSimulator(
+            asymmetric_3d, SchedulerFactory("themis", splitter=Splitter(2))
+        )
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        result = sim.run()
+        assert len(result.comm_active_intervals) == 1
+        assert result.comm_active_seconds == pytest.approx(result.makespan)
+
+    def test_abutting_collectives_merge(self, asymmetric_3d):
+        """A collective issued exactly at another's completion instant keeps
+        the network continuously active — one merged interval."""
+        sim = NetworkSimulator(
+            asymmetric_3d, SchedulerFactory("themis", splitter=Splitter(2))
+        )
+        sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB))
+        sim.run()
+        boundary = sim.engine.now
+        sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB),
+            at_time=boundary,
+        )
+        result = sim.run()
+        assert len(result.comm_active_intervals) == 1
+        assert result.comm_active_seconds == pytest.approx(result.makespan)
+
+    def test_per_owner_intervals(self, asymmetric_3d):
+        sim = NetworkSimulator(
+            asymmetric_3d, SchedulerFactory("themis", splitter=Splitter(2))
+        )
+        a = sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB, owner="jobA")
+        )
+        b = sim.submit(
+            CollectiveRequest(CollectiveType.ALL_REDUCE, 128 * MB, owner="jobB")
+        )
+        result = sim.run()
+        assert set(result.comm_active_by_owner) == {"jobA", "jobB"}
+        assert result.comm_active_seconds_for("jobA") == pytest.approx(
+            a.duration
+        )
+        assert result.comm_active_seconds_for("jobB") == pytest.approx(
+            b.duration
+        )
+        for owner in ("jobA", "jobB"):
+            assert (
+                result.comm_active_seconds_for(owner)
+                <= result.comm_active_seconds + 1e-12
+            )
+
+    def test_single_tenant_uses_empty_owner(self, asymmetric_3d):
+        result = run_single(asymmetric_3d)
+        assert set(result.comm_active_by_owner) == {""}
+        assert result.comm_active_seconds_for("") == pytest.approx(
+            result.comm_active_seconds
+        )
 
 
 class TestSubTopologyCollectives:

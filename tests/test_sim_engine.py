@@ -62,6 +62,34 @@ class TestEventQueue:
         with pytest.raises(SimulationError):
             engine.run(max_events=100)
 
+    def test_budget_exact_finish_is_not_an_error(self):
+        """A simulation that finishes in exactly ``max_events`` events
+        completes normally — the budget only trips with work pending."""
+        engine = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run(max_events=3)
+        assert fired == [1.0, 2.0, 3.0]
+        assert engine.pending == 0
+
+    def test_budget_with_pending_events_raises(self):
+        engine = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        with pytest.raises(SimulationError, match="pending"):
+            engine.run(max_events=2)
+
+    def test_run_until_includes_boundary_events(self):
+        """``run_until(t)`` fires events scheduled exactly at ``t``."""
+        engine = EventQueue()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("boundary"))
+        engine.schedule(3.0, lambda: fired.append("later"))
+        engine.run_until(2.0)
+        assert fired == ["boundary"]
+        assert engine.now == 2.0
+
     def test_run_until(self):
         engine = EventQueue()
         fired = []
