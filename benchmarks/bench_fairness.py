@@ -1,0 +1,51 @@
+"""Bench: cluster fairness policies on the skewed elephant/mouse/urgent trace.
+
+Runs the fairness-comparison experiment end-to-end on the paper's
+3D-SW_SW_SW_homo platform: the same skewed three-job trace under FIFO
+first-come sharing, static weighted shares, finish-time-fair re-weighting,
+and priority preemption.
+
+Expected headline (asserted): finish-time fairness achieves a strictly
+lower max rho and a higher Jain fairness index than FIFO; preemption
+rescues the prioritized job (rho ~1, preemptions > 0) without fixing the
+starved tenant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FAIRNESS_VARIANTS, run_fairness_comparison
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_fairness_comparison(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fairness_comparison,
+        kwargs={"quick": True},
+        rounds=1, iterations=1,
+    )
+    save_result("fairness_comparison", result.render())
+
+    for policy in FAIRNESS_VARIANTS:
+        report = result.report(policy)
+        assert len(report.jobs) == 3
+        for job in report.jobs:
+            assert job.jct > 0
+            assert job.rho is not None and job.rho >= 0.98
+        assert report.jains_fairness_index is not None
+        assert 0 < report.jains_fairness_index <= 1.0
+
+    fifo = result.report("fifo")
+    ftf = result.report("ftf")
+    # The acceptance headline: finish-time fairness strictly beats FIFO.
+    assert ftf.max_rho < fifo.max_rho
+    assert ftf.jains_fairness_index > fifo.jains_fairness_index
+    # Static weighted shares also cap the flood tenant.
+    assert result.report("weighted").max_rho < fifo.max_rho
+    # Preemption serves the prioritized job at near-isolated speed.
+    preempt = result.report("preempt")
+    assert preempt.job("urgent").rho == pytest.approx(1.0, abs=0.02)
+    assert preempt.preemption_count > 0
+    # ... but does nothing for the starved unprioritized tenant.
+    assert preempt.max_rho >= ftf.max_rho

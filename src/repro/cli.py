@@ -10,7 +10,9 @@ Subcommands
     Simulate training iterations of a paper workload.
 ``cluster``
     Simulate a multi-job cluster trace (Poisson arrivals, shared network)
-    under per-job Baseline vs Themis scheduling.
+    under per-job Baseline vs Themis scheduling; with ``--fairness``, run
+    the skewed-trace cluster fairness comparison (FIFO vs weighted shares
+    vs finish-time fair vs priority preemption) instead.
 ``provisioning``
     Sec. 6.3 BW-distribution assessment of a topology.
 ``fig``
@@ -33,6 +35,18 @@ from .topology import get_topology, preset_names
 from .training.iteration import TrainingConfig, simulate_training
 from .units import fmt_size, fmt_time, parse_size
 from .workloads import get_workload
+
+
+#: Defaults of the ``cluster`` subcommand's trace-shaping flags — shared by
+#: ``build_parser`` and the ``--fairness`` ignored-flag warning so the two
+#: can never disagree.
+_CLUSTER_TRACE_DEFAULTS = {
+    "jobs": 4,
+    "interarrival_ms": 2.0,
+    "seed": 1,
+    "iterations": 1,
+    "workloads": "",
+}
 
 
 def _cmd_topologies(_args: argparse.Namespace) -> int:
@@ -107,6 +121,32 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.fairness:
+        from .experiments.fairness import FAIRNESS_VARIANTS, run_fairness_comparison
+
+        ignored = [
+            f"--{dest.replace('_', '-')}"
+            for dest, default in _CLUSTER_TRACE_DEFAULTS.items()
+            if getattr(args, dest) != default
+        ]
+        if ignored:
+            print(
+                f"note: --fairness runs the fixed skewed trace; ignoring "
+                f"{', '.join(ignored)}",
+                file=sys.stderr,
+            )
+        if args.fairness == "all":
+            policies = FAIRNESS_VARIANTS
+        elif args.fairness == "fifo":
+            policies = ("fifo",)
+        else:
+            # Always include the FIFO baseline so the comparison is visible.
+            policies = ("fifo", args.fairness)
+        result = run_fairness_comparison(
+            topology_name=args.topology, policies=policies
+        )
+        print(result.render())
+        return 0
     workloads = tuple(
         name.strip() for name in args.workloads.split(",") if name.strip()
     )
@@ -177,17 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster", help="simulate a multi-job cluster trace (shared network)"
     )
     cluster.add_argument("--topology", default="3D-SW_SW_SW_homo")
-    cluster.add_argument("--jobs", type=int, default=4,
+    cluster.add_argument("--jobs", type=int,
+                         default=_CLUSTER_TRACE_DEFAULTS["jobs"],
                          help="number of jobs in the Poisson arrival trace")
-    cluster.add_argument("--interarrival-ms", type=float, default=2.0,
+    cluster.add_argument("--interarrival-ms", type=float,
+                         default=_CLUSTER_TRACE_DEFAULTS["interarrival_ms"],
                          help="mean job inter-arrival time in milliseconds")
-    cluster.add_argument("--seed", type=int, default=1,
+    cluster.add_argument("--seed", type=int,
+                         default=_CLUSTER_TRACE_DEFAULTS["seed"],
                          help="arrival-trace RNG seed")
-    cluster.add_argument("--iterations", type=int, default=1,
+    cluster.add_argument("--iterations", type=int,
+                         default=_CLUSTER_TRACE_DEFAULTS["iterations"],
                          help="training iterations per job")
-    cluster.add_argument("--workloads", default="",
+    cluster.add_argument("--workloads",
+                         default=_CLUSTER_TRACE_DEFAULTS["workloads"],
                          help="comma-separated workload rotation "
                               "(default: dlrm,resnet-152,gnmt)")
+    cluster.add_argument("--fairness", default="",
+                         choices=["", "fifo", "weighted", "ftf", "preempt", "all"],
+                         help="run the skewed-trace fairness comparison under "
+                              "this cluster fairness policy (plus the FIFO "
+                              "baseline; 'all' sweeps every policy) instead "
+                              "of the Poisson contention experiment")
 
     provisioning = sub.add_parser(
         "provisioning", help="Sec. 6.3 BW-distribution assessment"

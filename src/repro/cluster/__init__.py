@@ -3,9 +3,20 @@
 Extends the single-collective / single-job reproduction to the setting real
 clusters face (CASSINI, Themis-fair): many jobs whose collectives contend
 for the same network dimensions, with per-job scheduler choice, priorities,
-communicator dim-subsets, and Poisson (or explicit) arrival traces.
+communicator dim-subsets, Poisson (or explicit) arrival traces, and
+pluggable cluster-level fairness policies (weighted bandwidth shares,
+finish-time fairness, priority preemption — see ``fairness``).
 """
 
+from .fairness import (
+    FairnessPolicy,
+    FifoSharing,
+    FinishTimeFairness,
+    PriorityPreemption,
+    WeightedSharing,
+    fairness_names,
+    get_fairness,
+)
 from .jobs import JOB_SCHEDULERS, JobSpec, poisson_trace
 from .metrics import ClusterReport, JobOutcome
 from .simulator import ClusterConfig, ClusterSimulator, isolated_jct, run_cluster
@@ -20,4 +31,11 @@ __all__ = [
     "ClusterSimulator",
     "isolated_jct",
     "run_cluster",
+    "FairnessPolicy",
+    "FifoSharing",
+    "WeightedSharing",
+    "FinishTimeFairness",
+    "PriorityPreemption",
+    "get_fairness",
+    "fairness_names",
 ]

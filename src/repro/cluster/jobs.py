@@ -48,7 +48,14 @@ class JobSpec:
         cluster); ``None`` means all dimensions.
     priority:
         Added to every request's priority — higher-priority jobs win ties
-        in the intra-dimension policies (NCCL-priority-stream style).
+        in the intra-dimension policies (NCCL-priority-stream style), and
+        the cluster preemption fairness policy lets strictly higher-priority
+        jobs pause lower-priority in-flight batches.
+    weight:
+        Bandwidth share under the weighted / finish-time-fair cluster
+        fairness policies: when tenants contend on a dimension, each gets
+        ``weight / sum(active weights)`` of its bandwidth.  Ignored by the
+        default first-come sharing.
     """
 
     name: str
@@ -58,6 +65,7 @@ class JobSpec:
     iterations: int = 1
     dim_indices: tuple[int, ...] | None = None
     priority: int = 0
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -75,6 +83,10 @@ class JobSpec:
             raise ConfigError(
                 f"job {self.name!r}: unknown scheduler {self.scheduler!r}; "
                 f"known: {', '.join(JOB_SCHEDULERS)}"
+            )
+        if self.weight <= 0:
+            raise ConfigError(
+                f"job {self.name!r}: weight must be positive, got {self.weight}"
             )
         if self.dim_indices is not None:
             object.__setattr__(self, "dim_indices", tuple(self.dim_indices))

@@ -3,8 +3,15 @@
 The scheduling literature's standard quantities:
 
 * **JCT** (job completion time) — finish minus arrival, per job;
-* **slowdown** — JCT divided by the job's *isolated* JCT (same job, same
-  platform, nobody else on the network); 1.0 means contention cost nothing;
+* **slowdown / rho** — JCT divided by the job's *isolated* JCT (same job,
+  same platform, nobody else on the network); 1.0 means contention cost
+  nothing.  This is exactly the *finish-time fairness* metric rho of
+  Themis-fair (Mahajan et al.) — a fair cluster gives every job the same
+  rho, so the per-job spread (max rho, Jain's index over rho) is the
+  headline fairness number;
+* **Jain's fairness index** — ``(sum rho)^2 / (n * sum rho^2)`` over the
+  per-job rhos: 1.0 when all jobs suffer contention equally, approaching
+  ``1/n`` when one job bears it all;
 * **makespan** — first arrival to last finish, cluster-wide;
 * **utilization** — the paper's Sec. 3 per-dimension BW utilization of the
   shared network over its communication-active window.
@@ -49,6 +56,15 @@ class JobOutcome:
         return self.jct / self.isolated_time
 
     @property
+    def rho(self) -> float | None:
+        """Finish-time fairness rho (Themis-fair): shared JCT / isolated JCT.
+
+        Numerically identical to :attr:`slowdown`; exposed under the
+        fairness literature's name so fairness reports read naturally.
+        """
+        return self.slowdown
+
+    @property
     def breakdown(self) -> IterationBreakdown:
         """Summed breakdown over the job's iterations."""
         combined = IterationBreakdown()
@@ -68,6 +84,12 @@ class ClusterReport:
     utilization: UtilizationReport | None = None
     #: Cluster-wide communication-active time (any tenant in flight).
     comm_active_seconds: float = 0.0
+    #: ``describe()`` of the fairness policy in force (``None`` = default
+    #: first-come sharing with no policy object attached).
+    fairness_name: str | None = None
+    #: Batch preemptions across all dimensions (non-zero only under the
+    #: priority-preemption fairness policy).
+    preemption_count: int = 0
 
     def job(self, name: str) -> JobOutcome:
         for outcome in self.jobs:
@@ -103,6 +125,32 @@ class ClusterReport:
         values = self._slowdowns()
         return max(values) if values else None
 
+    @property
+    def mean_rho(self) -> float | None:
+        """Mean finish-time-fairness rho (alias of :attr:`mean_slowdown`)."""
+        return self.mean_slowdown
+
+    @property
+    def max_rho(self) -> float | None:
+        """Worst per-job rho — the fairness headline to minimize."""
+        return self.max_slowdown
+
+    @property
+    def jains_fairness_index(self) -> float | None:
+        """Jain's index over the per-job rhos (1.0 = perfectly fair).
+
+        ``None`` when isolated baselines were not computed, so no rho
+        exists to compare.
+        """
+        values = self._slowdowns()
+        if not values:
+            return None
+        square_sum = sum(v * v for v in values)
+        if square_sum <= 0:
+            return None
+        total = sum(values)
+        return (total * total) / (len(values) * square_sum)
+
     def describe(self) -> str:
         """Human-readable per-job table plus cluster-wide summary."""
         rows = []
@@ -118,11 +166,14 @@ class ClusterReport:
                     job.slowdown if job.slowdown is not None else float("nan"),
                 )
             )
+        header = f"cluster on {self.topology_name}: {len(self.jobs)} job(s)"
+        if self.fairness_name is not None:
+            header += f", fairness: {self.fairness_name}"
         lines = [
-            f"cluster on {self.topology_name}: {len(self.jobs)} job(s)",
+            header,
             format_table(
                 ["job", "workload", "sched", "arrival", "JCT",
-                 "isolated", "slowdown"],
+                 "isolated", "rho"],
                 rows,
                 [str, str, str, ms, ms, ms, ratio],
                 indent="  ",
@@ -131,11 +182,14 @@ class ClusterReport:
             f"mean JCT {fmt_time(self.mean_jct)}, "
             f"comm-active {fmt_time(self.comm_active_seconds)}",
         ]
-        if self.mean_slowdown is not None:
+        if self.mean_rho is not None:
             lines.append(
-                f"  slowdown vs isolated: mean {self.mean_slowdown:.2f}x, "
-                f"max {self.max_slowdown:.2f}x"
+                f"  slowdown vs isolated (finish-time fairness rho): "
+                f"mean {self.mean_rho:.2f}, max {self.max_rho:.2f}, "
+                f"Jain index {self.jains_fairness_index:.3f}"
             )
+        if self.preemption_count:
+            lines.append(f"  preemptions: {self.preemption_count}")
         if self.utilization is not None:
             per_dim = ", ".join(
                 f"dim{i + 1}={pct(u)}" for i, u in enumerate(self.utilization.per_dim)

@@ -32,6 +32,7 @@ from ..sim.stats import bw_utilization
 from ..topology import Topology
 from ..training.iteration import ComputeStep, TrainingConfig, TrainingLoop, WaitStep
 from ..training.results import IterationBreakdown
+from .fairness import FairnessPolicy, get_fairness
 from .jobs import JobSpec
 from .metrics import ClusterReport, JobOutcome
 
@@ -47,10 +48,15 @@ class ClusterConfig:
     ``training.iterations`` is ignored in favor of each job's
     ``JobSpec.iterations``.  When ``isolated_baselines`` is True, every
     job is additionally re-run alone so its slowdown can be reported.
+    ``fairness`` selects how contending tenants share the network: a
+    registry name (``"fifo"``, ``"weighted"``, ``"ftf"``, ``"preempt"``), a
+    configured :class:`FairnessPolicy` instance, or ``None`` for the
+    default first-come sharing.
     """
 
     training: TrainingConfig | None = None
     isolated_baselines: bool = True
+    fairness: FairnessPolicy | str | None = None
 
 
 class _JobDriver:
@@ -129,7 +135,12 @@ class ClusterSimulator:
         topology: Topology,
         jobs: Sequence[JobSpec],
         config: ClusterConfig | None = None,
+        *,
+        isolated_cache: dict[tuple, float] | None = None,
     ) -> None:
+        """``isolated_cache`` optionally shares isolated-JCT results across
+        simulators (sweeps re-running one trace under several policies pass
+        a common dict so each solo baseline is simulated once)."""
         if not jobs:
             raise ConfigError("a cluster run needs at least one job")
         names = [spec.name for spec in jobs]
@@ -142,6 +153,8 @@ class ClusterSimulator:
         self.jobs = list(jobs)
         self.config = config or ClusterConfig()
         self.training_config = self.config.training or TrainingConfig()
+        self.fairness = get_fairness(self.config.fairness)
+        self._isolated_cache = isolated_cache if isolated_cache is not None else {}
         self.engine = EventQueue()
         splitter = Splitter(self.training_config.chunks_per_collective)
         self.network = NetworkSimulator(
@@ -171,8 +184,34 @@ class ClusterSimulator:
             driver.bind(loop)
             self._drivers.append(driver)
 
+    @property
+    def drivers(self) -> list[_JobDriver]:
+        """Per-job drivers (fairness policies read progress from these)."""
+        return self._drivers
+
+    def isolated_time(self, spec: JobSpec) -> float:
+        """Cached isolated JCT of ``spec`` (the rho / slowdown denominator).
+
+        Jobs with identical configuration share one isolated run.  A
+        registry name always resolves to the same workload; distinct
+        Workload instances are only deduplicated by identity.  Priority,
+        weight, and arrival are irrelevant alone on the network, so they
+        are not part of the key.
+        """
+        key = (
+            spec.workload if isinstance(spec.workload, str) else id(spec.workload),
+            spec.scheduler.lower(),
+            spec.iterations,
+            spec.dim_indices,
+        )
+        if key not in self._isolated_cache:
+            self._isolated_cache[key] = isolated_jct(self.topology, spec, self.config)
+        return self._isolated_cache[key]
+
     def run(self, max_events: int | None = None) -> ClusterReport:
         """Run all jobs to completion and collect per-job/cluster metrics."""
+        if self.fairness is not None:
+            self.fairness.prepare(self)
         for driver in self._drivers:
             driver.start()
         self.engine.run(max_events=max_events)
@@ -210,38 +249,31 @@ class ClusterSimulator:
                 )
             )
         if self.config.isolated_baselines:
-            # Jobs with identical configuration share one isolated run.  A
-            # registry name always resolves to the same workload; distinct
-            # Workload instances are only deduplicated by identity.
-            # Priority is irrelevant alone on the network, so it is not
-            # part of the key.
-            cache: dict[tuple, float] = {}
             for spec, outcome in zip(self.jobs, outcomes):
-                key = (
-                    spec.workload
-                    if isinstance(spec.workload, str)
-                    else id(spec.workload),
-                    spec.scheduler.lower(),
-                    spec.iterations,
-                    spec.dim_indices,
-                )
-                if key not in cache:
-                    cache[key] = isolated_jct(self.topology, spec, self.config)
-                outcome.isolated_time = cache[key]
+                outcome.isolated_time = self.isolated_time(spec)
         return ClusterReport(
             topology_name=self.topology.name,
             jobs=outcomes,
             utilization=utilization,
             comm_active_seconds=comm_active,
+            fairness_name=(
+                self.fairness.describe() if self.fairness is not None else None
+            ),
+            preemption_count=self.network.preemption_count,
         )
 
 
 def isolated_jct(
     topology: Topology, spec: JobSpec, config: ClusterConfig | None = None
 ) -> float:
-    """JCT of ``spec`` run alone on ``topology`` (the slowdown denominator)."""
+    """JCT of ``spec`` run alone on ``topology`` (the rho denominator).
+
+    Fairness policies are stripped for the solo run: alone on the network a
+    job gets full bandwidth under every discipline, and finish-time-fair
+    re-weighting would recurse into computing its own isolated baselines.
+    """
     solo_config = replace(
-        config or ClusterConfig(), isolated_baselines=False
+        config or ClusterConfig(), isolated_baselines=False, fairness=None
     )
     solo = ClusterSimulator(topology, [spec.at_arrival(0.0)], solo_config)
     return solo.run().jobs[0].jct

@@ -1,6 +1,12 @@
 """Experiment harnesses regenerating every paper figure and table."""
 
 from .cluster_contention import ClusterContentionResult, run_cluster_contention
+from .fairness import (
+    FAIRNESS_VARIANTS,
+    FairnessComparisonResult,
+    run_fairness_comparison,
+    skewed_trace,
+)
 from .fig4 import Fig4Result, run_fig4
 from .fig5 import Fig5Result, run_fig5
 from .fig8 import Fig8Result, run_fig8
@@ -21,6 +27,10 @@ __all__ = [
     "run_headline",
     "run_cluster_contention",
     "ClusterContentionResult",
+    "run_fairness_comparison",
+    "FairnessComparisonResult",
+    "FAIRNESS_VARIANTS",
+    "skewed_trace",
     "Fig4Result",
     "Fig5Result",
     "Fig8Result",

@@ -20,6 +20,20 @@ Two provisions from Sec. 4.3 are implemented here:
   chunks per dimension ... similar to the collective fusion concept in
   NCCL"): a fused batch shares one fixed-delay shadow and coalesces
   scheduling events.
+
+For multi-tenant cluster simulations the wire additionally supports two
+fairness disciplines beyond the default serial (first-come) service
+(``repro.cluster.fairness`` selects them):
+
+* **weighted sharing** (:meth:`DimensionChannel.set_share_weights`): each
+  tenant may have one batch in flight concurrently and the wire's bandwidth
+  is split between the in-flight batches in proportion to per-tenant
+  weights (GPS-style fluid sharing, recomputed whenever the active set or
+  the weights change);
+* **preemption** (:meth:`DimensionChannel.enable_preemption`): a ready op
+  whose priority strictly exceeds the running batch's pauses that batch;
+  the remainder of its transfer is re-run later, with statistics adjusted
+  so no byte or wire-second is lost or double-counted.
 """
 
 from __future__ import annotations
@@ -70,6 +84,7 @@ class OpState:
     __slots__ = (
         "collective_seq",
         "priority",
+        "owner",
         "chunk_id",
         "stage_index",
         "stage",
@@ -93,9 +108,11 @@ class OpState:
         transfer_time: float,
         fixed_time: float,
         priority: int = 0,
+        owner: str = "",
     ) -> None:
         self.collective_seq = collective_seq
         self.priority = priority
+        self.owner = owner
         self.chunk_id = chunk_id
         self.stage_index = stage_index
         self.stage = stage
@@ -148,13 +165,74 @@ class ChannelStats:
     activity_intervals: list[Interval] = field(default_factory=list)
 
 
+class _RunningBatch:
+    """Serial-wire bookkeeping for the batch currently (or lately) on the wire.
+
+    ``remaining`` is the transfer time still owed; preemption decrements it
+    by the elapsed segment and bumps ``generation`` so the segment's pending
+    release/completion events become stale no-ops.
+    """
+
+    __slots__ = (
+        "batch",
+        "fixed",
+        "transfer_total",
+        "bytes_total",
+        "priority",
+        "remaining",
+        "segment_start",
+        "generation",
+    )
+
+    def __init__(self, batch: list[OpState], fixed: float, transfer: float) -> None:
+        self.batch = batch
+        self.fixed = fixed
+        self.transfer_total = transfer
+        self.bytes_total = sum(op.bytes_sent for op in batch)
+        self.priority = max(op.priority for op in batch)
+        self.remaining = transfer
+        self.segment_start = 0.0
+        self.generation = 0
+
+
+class _FlowState:
+    """One tenant's in-flight batch under weighted bandwidth sharing.
+
+    ``remaining`` is transfer work measured in seconds at *full* wire rate;
+    the flow drains at ``rate`` (its weight share), so its finish events are
+    recomputed — and old ones invalidated via ``generation`` — every time
+    the active set or the weights change.
+    """
+
+    __slots__ = ("batch", "owner", "fixed", "remaining", "rate", "last_update", "generation")
+
+    def __init__(self, batch: list[OpState], owner: str, fixed: float, transfer: float) -> None:
+        self.batch = batch
+        self.owner = owner
+        self.fixed = fixed
+        self.remaining = transfer
+        self.rate = 0.0
+        self.last_update = 0.0
+        self.generation = 0
+
+
+#: Weights below this are clamped up so a zero-weight tenant still drains
+#: (otherwise its flow would never finish and the simulation would deadlock).
+_MIN_WEIGHT = 1e-9
+
+
 class DimensionChannel:
-    """Serial executor for one network dimension.
+    """Executor for one network dimension.
 
     Owns a ready queue, applies the intra-dimension policy (optionally
     overridden by enforced per-collective orders, Sec. 4.6.2), performs
     fusion, and tracks activity intervals — a dimension "has activity if
     there is at least one chunk in that dimension for processing" (Fig. 9).
+
+    By default the wire is *serial*: one batch at a time at full bandwidth.
+    The cluster fairness layer may switch it to weighted per-tenant sharing
+    (:meth:`set_share_weights`) or arm priority preemption
+    (:meth:`enable_preemption`); see the module docstring.
     """
 
     def __init__(
@@ -178,11 +256,62 @@ class DimensionChannel:
         # collective_seq -> remaining enforced op-key order for this channel.
         self.enforced_orders: dict[int, list[tuple[int, int, int]]] = {}
         self._active_since: float | None = None
+        # --- fairness machinery (off by default) --------------------------
+        #: ``None`` = serial wire; a dict = weighted per-tenant sharing.
+        self.share_weights: dict[str, float] | None = None
+        self.default_weight = 1.0
+        self.preemption_enabled = False
+        self.preemption_count = 0
+        self._flows: dict[str, _FlowState] = {}
+        self._running: _RunningBatch | None = None
+        self._paused: list[_RunningBatch] = []
+
+    # --- fairness configuration -------------------------------------------
+    def set_share_weights(
+        self, weights: dict[str, float], default: float = 1.0
+    ) -> None:
+        """Enable (or re-tune) weighted per-tenant bandwidth sharing.
+
+        ``weights`` maps tenant (``OpState.owner``) to a positive share;
+        tenants absent from the map get ``default``.  Safe to call mid-run:
+        in-flight flows keep their progress and drain at the new rates.
+        """
+        for owner, weight in weights.items():
+            if weight <= 0:
+                raise ConfigError(
+                    f"tenant {owner!r}: share weight must be positive, "
+                    f"got {weight}"
+                )
+        if default <= 0:
+            raise ConfigError(f"default share weight must be positive, got {default}")
+        if self.share_weights is None and (self.busy or self._paused):
+            raise ConfigError(
+                f"dim{self.dim_index}: cannot switch to weighted sharing "
+                "while the serial wire has a batch in flight"
+            )
+        self.share_weights = dict(weights)
+        self.default_weight = default
+        if self._flows:
+            self._reschedule_flows()
+        self.try_start()
+
+    def enable_preemption(self) -> None:
+        """Let strictly higher-priority arrivals pause the running batch."""
+        self.preemption_enabled = True
+
+    def _weight(self, owner: str) -> float:
+        assert self.share_weights is not None
+        return max(self.share_weights.get(owner, self.default_weight), _MIN_WEIGHT)
 
     # --- activity tracking ------------------------------------------------
     @property
     def has_work(self) -> bool:
-        return self.busy or bool(self.queue)
+        return (
+            self.busy
+            or bool(self.queue)
+            or bool(self._flows)
+            or bool(self._paused)
+        )
 
     def _update_activity(self) -> None:
         now = self.engine.now
@@ -217,12 +346,7 @@ class DimensionChannel:
 
     def _eligible_ops(self) -> list[OpState]:
         """Ready ops allowed to start now under enforced per-collective orders."""
-        eligible = []
-        for op in self.queue:
-            order = self.enforced_orders.get(op.collective_seq)
-            if order is None or (order and order[0] == op.key):
-                eligible.append(op)
-        return eligible
+        return [op for op in self.queue if self._op_is_eligible(op)]
 
     # --- execution ----------------------------------------------------------
     def enqueue(self, op: OpState) -> None:
@@ -230,24 +354,59 @@ class DimensionChannel:
         op.ready_time = self.engine.now
         self.queue.append(op)
         self._update_activity()
+        if (
+            self.preemption_enabled
+            and self.share_weights is None
+            and self.busy
+            and self._running is not None
+            and op.priority > self._running.priority
+            and self._op_is_eligible(op)
+        ):
+            self._preempt_running()
         self.try_start()
 
+    def _op_is_eligible(self, op: OpState) -> bool:
+        """Whether ``op`` may start now under enforced per-collective orders.
+
+        Preemption checks this before pausing the wire: an order-blocked op
+        cannot start, so preempting for it would be immediately undone (and
+        would inflate the reported preemption count).
+        """
+        order = self.enforced_orders.get(op.collective_seq)
+        return order is None or bool(order and order[0] == op.key)
+
     def try_start(self) -> None:
-        """Start the next batch if the channel is idle and an op is eligible."""
+        """Start the next batch/flow if the wire discipline allows one."""
+        if self.share_weights is not None:
+            self._try_start_shared()
+            return
         if self.busy:
             return
         eligible = self._eligible_ops()
+        paused = self._best_paused()
+        if paused is not None and (
+            not eligible
+            or paused.priority >= max(op.priority for op in eligible)
+        ):
+            self._paused.remove(paused)
+            self._start_segment(paused)
+            return
         if not eligible:
             return
         batch = self._pick_batch(eligible)
+        self._dequeue(batch)
+        self._execute(batch)
+
+    def _dequeue(self, batch: list[OpState]) -> None:
         for op in batch:
             self.queue.remove(op)
             order = self.enforced_orders.get(op.collective_seq)
             if order and order[0] == op.key:
                 order.pop(0)
-        self._execute(batch)
 
-    def _pick_batch(self, eligible: list[OpState]) -> list[OpState]:
+    def _pick_batch(
+        self, eligible: list[OpState], fusion_owner: str | None = None
+    ) -> list[OpState]:
         first = self.policy.select(eligible)
         batch = [first]
         if not self.fusion.enabled or not self.fusion.is_small(first):
@@ -261,6 +420,8 @@ class DimensionChannel:
             remaining = []
             for op in self.queue:
                 if op in batch:
+                    continue
+                if fusion_owner is not None and op.owner != fusion_owner:
                     continue
                 order = self.enforced_orders.get(op.collective_seq)
                 if order is None:
@@ -281,6 +442,7 @@ class DimensionChannel:
                 )
         return batch
 
+    # --- serial wire (default, with optional preemption) -------------------
     def _execute(self, batch: list[OpState]) -> None:
         """Run a batch with pipelined fixed latency (paper Sec. 4.4).
 
@@ -296,31 +458,180 @@ class DimensionChannel:
         transfer = sum(op.transfer_time for op in batch)
         for op in batch:
             op.start_time = now
-            op.end_time = now + fixed + transfer
+        self.stats.op_count += len(batch)
+        self.stats.batch_count += 1
+        self._start_segment(_RunningBatch(batch, fixed, transfer))
+
+    def _start_segment(self, running: _RunningBatch) -> None:
+        """(Re)occupy the wire for the batch's remaining transfer work.
+
+        A fresh batch runs one segment covering its whole transfer; a batch
+        resumed after preemption runs a segment for the leftover work.
+        Statistics are credited per segment (and debited on preemption), so
+        across all segments each batch contributes exactly its transfer
+        seconds and bytes once.  The fixed-latency shadow is paid at the end
+        of the final segment.
+        """
+        now = self.engine.now
+        running.segment_start = now
+        remaining = running.remaining
+        frac = (
+            remaining / running.transfer_total
+            if running.transfer_total > 0
+            else 1.0
+        )
         self.busy = True
+        self._running = running
+        self.stats.busy_seconds += remaining
+        self.stats.transfer_seconds += remaining
+        self.stats.fixed_seconds += running.fixed
+        self.stats.bytes_sent += running.bytes_total * frac
+        end = now + running.fixed + remaining
+        for op in running.batch:
+            op.end_time = end
+        self._update_activity()
+        generation = running.generation
+        # Completion is scheduled before the wire release so that when the
+        # fixed delay is zero (same-instant tie) the finished batch's
+        # successor ops are enqueued before the channel picks its next batch.
+        self.engine.schedule(end, lambda: self._complete(running, generation))
+        self.engine.schedule(
+            now + remaining, lambda: self._release_wire(running, generation)
+        )
+
+    def _preempt_running(self) -> None:
+        """Pause the running batch; its leftover transfer re-runs later.
+
+        The segment's pending release/completion events are invalidated via
+        the generation counter, and the statistics credited at segment start
+        are debited by exactly the un-done part, so preemption never loses
+        or double-counts work.
+        """
+        running = self._running
+        assert running is not None
+        now = self.engine.now
+        remaining = running.remaining - (now - running.segment_start)
+        if remaining <= 1e-18:
+            return  # the segment is done; the wire releases this instant
+        running.generation += 1
+        frac = remaining / running.transfer_total
+        self.stats.busy_seconds -= remaining
+        self.stats.transfer_seconds -= remaining
+        self.stats.fixed_seconds -= running.fixed
+        self.stats.bytes_sent -= running.bytes_total * frac
+        running.remaining = remaining
+        self.busy = False
+        self._running = None
+        self._paused.append(running)
+        self.preemption_count += 1
+        self._update_activity()
+
+    def _best_paused(self) -> _RunningBatch | None:
+        """Highest-priority paused batch (ties: preempted first)."""
+        best = None
+        for running in self._paused:
+            if best is None or running.priority > best.priority:
+                best = running
+        return best
+
+    def _release_wire(self, running: _RunningBatch, generation: int) -> None:
+        if running.generation != generation:
+            return  # segment was preempted; a later segment owns the wire
+        if not self.busy:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"dim{self.dim_index} released its wire while not busy"
+            )
+        running.remaining = 0.0
+        self.busy = False
+        self._running = None
+        self._update_activity()
+        self.try_start()
+
+    def _complete(self, running: _RunningBatch, generation: int) -> None:
+        if running.generation != generation:
+            return  # segment was preempted before its transfer finished
+        self.on_batch_done(self, running.batch)
+        self._update_activity()
+        self.try_start()
+
+    # --- weighted-sharing wire (cluster fairness) ---------------------------
+    def _try_start_shared(self) -> None:
+        """Admit one flow per tenant that has eligible work and none in flight."""
+        while True:
+            flows = self._flows
+            eligible = [
+                op for op in self._eligible_ops() if op.owner not in flows
+            ]
+            if not eligible:
+                return
+            first = self.policy.select(eligible)
+            owner_eligible = [op for op in eligible if op.owner == first.owner]
+            batch = self._pick_batch(owner_eligible, fusion_owner=first.owner)
+            self._dequeue(batch)
+            self._start_flow(batch)
+
+    def _start_flow(self, batch: list[OpState]) -> None:
+        now = self.engine.now
+        fixed = max(op.fixed_time for op in batch)
+        transfer = sum(op.transfer_time for op in batch)
+        for op in batch:
+            op.start_time = now
         self.stats.busy_seconds += transfer
         self.stats.transfer_seconds += transfer
         self.stats.fixed_seconds += fixed
         self.stats.bytes_sent += sum(op.bytes_sent for op in batch)
         self.stats.op_count += len(batch)
         self.stats.batch_count += 1
+        flow = _FlowState(batch, batch[0].owner, fixed, transfer)
+        flow.last_update = now
+        self._flows[flow.owner] = flow
         self._update_activity()
-        # Completion is scheduled before the wire release so that when the
-        # fixed delay is zero (same-instant tie) the finished batch's
-        # successor ops are enqueued before the channel picks its next batch.
-        self.engine.schedule(now + fixed + transfer, lambda: self._complete(batch))
-        self.engine.schedule(now + transfer, self._release_wire)
+        self._reschedule_flows()
 
-    def _release_wire(self) -> None:
-        if not self.busy:  # pragma: no cover - defensive
-            raise SimulationError(
-                f"dim{self.dim_index} released its wire while not busy"
+    def _reschedule_flows(self) -> None:
+        """Re-split the wire among active flows and re-arm their finishes.
+
+        Called whenever the active set or the weights change.  Each flow's
+        progress since its last update is banked at its old rate, then every
+        flow gets rate ``w_i / sum(active w)`` and a fresh finish event; the
+        generation counter makes previously scheduled finishes stale no-ops.
+        """
+        if not self._flows:
+            return
+        now = self.engine.now
+        total = sum(self._weight(owner) for owner in self._flows)
+        for flow in self._flows.values():
+            if now > flow.last_update and flow.rate > 0:
+                flow.remaining = max(
+                    0.0, flow.remaining - flow.rate * (now - flow.last_update)
+                )
+            flow.last_update = now
+            flow.rate = self._weight(flow.owner) / total
+            flow.generation += 1
+            generation = flow.generation
+            finish = now + flow.remaining / flow.rate
+            self.engine.schedule(
+                finish,
+                lambda flow=flow, generation=generation: self._finish_flow(
+                    flow, generation
+                ),
             )
-        self.busy = False
+
+    def _finish_flow(self, flow: _FlowState, generation: int) -> None:
+        if flow.generation != generation:
+            return  # superseded by a reschedule
+        flow.remaining = 0.0
+        del self._flows[flow.owner]
+        now = self.engine.now
+        end = now + flow.fixed
+        for op in flow.batch:
+            op.end_time = end
+        self.engine.schedule(end, lambda: self._complete_flow(flow))
         self._update_activity()
+        self._reschedule_flows()
         self.try_start()
 
-    def _complete(self, batch: list[OpState]) -> None:
-        self.on_batch_done(self, batch)
+    def _complete_flow(self, flow: _FlowState) -> None:
+        self.on_batch_done(self, flow.batch)
         self._update_activity()
         self.try_start()

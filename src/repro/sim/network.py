@@ -214,6 +214,37 @@ class NetworkSimulator:
         self._owner_active_since: dict[str, float] = {}
         self._owner_active: dict[str, list[Interval]] = {}
 
+    # --- fairness (multi-tenant wire disciplines) ---------------------------
+    def set_tenant_weights(
+        self, weights: dict[str, float], default: float = 1.0
+    ) -> None:
+        """Enable/update weighted per-tenant bandwidth sharing on every dim.
+
+        ``weights`` maps ``request.owner`` to a positive share; owners absent
+        from the map get ``default``.  Concurrent batches from different
+        tenants then split each dimension's bandwidth in proportion to their
+        weights (GPS-style fluid sharing) instead of serializing first-come.
+        Safe to call repeatedly mid-run — the cluster finish-time-fairness
+        policy re-tunes weights periodically.
+        """
+        for channel in self.channels:
+            channel.set_share_weights(weights, default)
+
+    def enable_preemption(self) -> None:
+        """Arm priority preemption on every dimension channel.
+
+        A ready op whose priority strictly exceeds the running batch's
+        pauses that batch; its leftover transfer re-runs once the wire frees
+        (work-conserving — nothing is lost or re-sent).
+        """
+        for channel in self.channels:
+            channel.enable_preemption()
+
+    @property
+    def preemption_count(self) -> int:
+        """Total batch preemptions across all dimensions."""
+        return sum(channel.preemption_count for channel in self.channels)
+
     # --- submission ---------------------------------------------------------
     def submit(
         self,
@@ -297,6 +328,7 @@ class NetworkSimulator:
                         ),
                         fixed_time=model.fixed_latency(stage.op, stage.dim_index),
                         priority=request.priority,
+                        owner=request.owner,
                     )
                 )
             chunk_ops.append(ops)

@@ -67,6 +67,19 @@ class TestCommands:
         assert main(["cluster", "--workloads", "not-a-model"]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_cluster_fairness(self, capsys):
+        """--fairness switches to the skewed-trace policy comparison."""
+        code = main(["cluster", "--fairness", "fifo", "--topology", "2D-SW_SW"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fairness comparison" in out
+        assert "max rho" in out and "Jain idx" in out
+        assert "elephant" in out and "mouse" in out and "urgent" in out
+
+    def test_cluster_fairness_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--fairness", "karma"])
+
     def test_cluster_zero_jobs_names_the_flag(self, capsys):
         assert main(["cluster", "--jobs", "0"]) == 1
         assert "--jobs" in capsys.readouterr().err
