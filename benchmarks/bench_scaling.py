@@ -1,0 +1,282 @@
+"""Many-tenant cluster scaling benchmark (the perf-tracking harness).
+
+Sweeps N concurrent training jobs x cluster fairness policies on one shared
+network and measures, per cell:
+
+* wall-clock time of the simulation,
+* events fired and events/second (the engine's useful throughput),
+* peak pending-event count and final physical heap size (bounded heap is
+  the point of event cancellation + compaction),
+* cancelled events and compaction sweeps,
+* simulated makespan / mean JCT (sanity: the *simulated* outcome must not
+  depend on how fast we computed it).
+
+``--compare-legacy`` additionally re-runs every cell on the pre-indexing
+reference path (flat-list ready queues, no plan/consistency caches, no
+event cancellation — ``ClusterConfig(optimized=False)``), reports the
+speedup, and asserts the per-job JCTs are bit-identical — the determinism
+property the optimization preserves.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py                # full matrix
+    PYTHONPATH=src python benchmarks/bench_scaling.py --quick        # CI smoke
+    PYTHONPATH=src python benchmarks/bench_scaling.py \
+        --jobs 64 --policies weighted,ftf --compare-legacy           # headline
+    PYTHONPATH=src python benchmarks/bench_scaling.py --json out.json
+
+The JSON this emits (via ``run_all.py --json``) is the repo's tracked perf
+trajectory: ``BENCH_scaling.json`` at the repo root is the baseline every
+later PR compares against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if True:  # allow running without PYTHONPATH=src
+    _SRC = Path(__file__).resolve().parents[1] / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.cluster import ClusterConfig, ClusterSimulator, JobSpec
+from repro.topology import Topology, dimension
+from repro.training import TrainingConfig
+from repro.units import MB
+from repro.workloads import Layer, Workload
+
+DEFAULT_JOB_COUNTS = (8, 16, 32, 64)
+DEFAULT_POLICIES = ("fifo", "weighted", "ftf", "preempt")
+
+
+def bench_topology() -> Topology:
+    """A small 2D platform: contention, not topology, is under test."""
+    return Topology(
+        [
+            dimension("sw", 4, 400.0, latency_ns=100),
+            dimension("sw", 4, 200.0, latency_ns=500),
+        ],
+        name="bench-4x4",
+    )
+
+
+def _workload(layers: int, param_mb: float, name: str) -> Workload:
+    return Workload(
+        name=name,
+        layers=[
+            Layer(
+                name=f"l{i}",
+                fwd_flops=1e8,
+                bwd_flops=2e8,
+                param_bytes=param_mb * MB,
+            )
+            for i in range(layers)
+        ],
+        batch_per_npu=1,
+    )
+
+
+#: A fixed pool of distinct communication profiles; jobs share these
+#: instances so the isolated-JCT cache collapses N jobs to 4 solo runs.
+_WORKLOAD_POOL = [
+    _workload(12, 2, "elephant"),  # many small buckets
+    _workload(2, 16, "mouse"),     # few large buckets
+    _workload(6, 6, "medium"),
+    _workload(3, 10, "bursty"),
+]
+
+
+def make_jobs(n_jobs: int, iterations: int) -> list[JobSpec]:
+    """N jobs cycling through the workload pool with staggered arrivals."""
+    jobs = []
+    for i in range(n_jobs):
+        jobs.append(
+            JobSpec(
+                name=f"job{i:03d}",
+                workload=_WORKLOAD_POOL[i % len(_WORKLOAD_POOL)],
+                iterations=iterations,
+                arrival_time=i * 2e-5,
+                weight=1.0 + (i % 3),
+                priority=i % 4,
+            )
+        )
+    return jobs
+
+
+def run_cell(
+    n_jobs: int,
+    policy: str,
+    *,
+    optimized: bool,
+    iterations: int,
+    chunks: int,
+    isolated_cache: dict,
+) -> dict:
+    """Run one (job count, fairness policy) cell and collect metrics."""
+    config = ClusterConfig(
+        training=TrainingConfig(chunks_per_collective=chunks),
+        isolated_baselines=False,
+        fairness=policy,
+        optimized=optimized,
+    )
+    jobs = make_jobs(n_jobs, iterations)
+    sim = ClusterSimulator(
+        bench_topology(), jobs, config, isolated_cache=isolated_cache
+    )
+    # Pre-warm the isolated-JCT cache outside the timed region: the FTF
+    # policy computes isolated baselines in prepare(), which would otherwise
+    # pollute the wall-time of its first cell.
+    for spec in jobs:
+        sim.isolated_time(spec)
+    start = time.perf_counter()
+    report = sim.run()
+    wall = time.perf_counter() - start
+    engine = sim.engine
+    jcts = [job.jct for job in report.jobs]
+    return {
+        "jobs": n_jobs,
+        "policy": policy,
+        "optimized": optimized,
+        "wall_seconds": wall,
+        "events": engine.events_processed,
+        "events_per_second": engine.events_processed / wall if wall > 0 else 0.0,
+        "peak_pending_events": engine.peak_pending,
+        "final_heap_size": engine.heap_size,
+        "cancelled_events": engine.cancelled_events,
+        "compactions": engine.compactions,
+        "makespan": report.makespan,
+        "mean_jct": sum(jcts) / len(jcts),
+        "jcts": jcts,
+    }
+
+
+def run_matrix(
+    job_counts: tuple[int, ...],
+    policies: tuple[str, ...],
+    *,
+    iterations: int = 2,
+    chunks: int = 8,
+    compare_legacy: bool = False,
+) -> dict:
+    """Run the sweep; returns the JSON-ready result document."""
+    isolated_cache: dict = {}
+    cells = []
+    for n_jobs in job_counts:
+        for policy in policies:
+            cell = run_cell(
+                n_jobs,
+                policy,
+                optimized=True,
+                iterations=iterations,
+                chunks=chunks,
+                isolated_cache=isolated_cache,
+            )
+            entry = {
+                "jobs": n_jobs,
+                "policy": policy,
+                "optimized": {k: v for k, v in cell.items() if k != "jcts"},
+                "legacy": None,
+                "speedup": None,
+            }
+            if compare_legacy:
+                legacy = run_cell(
+                    n_jobs,
+                    policy,
+                    optimized=False,
+                    iterations=iterations,
+                    chunks=chunks,
+                    isolated_cache=isolated_cache,
+                )
+                if legacy["jcts"] != cell["jcts"]:
+                    raise AssertionError(
+                        f"determinism violated: optimized and legacy JCTs "
+                        f"differ for {n_jobs} jobs / {policy}"
+                    )
+                entry["legacy"] = {
+                    k: v for k, v in legacy.items() if k != "jcts"
+                }
+                entry["speedup"] = legacy["wall_seconds"] / cell["wall_seconds"]
+            cells.append(entry)
+            _print_cell(entry)
+    return {
+        "benchmark": "scaling",
+        "config": {
+            "job_counts": list(job_counts),
+            "policies": list(policies),
+            "iterations": iterations,
+            "chunks_per_collective": chunks,
+            "topology": bench_topology().name,
+            "compare_legacy": compare_legacy,
+        },
+        "results": cells,
+    }
+
+
+def _print_cell(entry: dict) -> None:
+    opt = entry["optimized"]
+    line = (
+        f"{entry['jobs']:3d} jobs  {entry['policy']:9s} "
+        f"wall={opt['wall_seconds'] * 1000:8.1f}ms "
+        f"ev/s={opt['events_per_second'] / 1000:7.1f}k "
+        f"peak_heap={opt['peak_pending_events']:6d} "
+        f"compactions={opt['compactions']:3d}"
+    )
+    if entry["legacy"] is not None:
+        line += (
+            f"  | legacy wall={entry['legacy']['wall_seconds'] * 1000:8.1f}ms "
+            f"peak_heap={entry['legacy']['peak_pending_events']:6d} "
+            f"speedup={entry['speedup']:.2f}x"
+        )
+    print(line, flush=True)
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        default=",".join(str(n) for n in DEFAULT_JOB_COUNTS),
+        help="comma-separated job counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help="comma-separated fairness policies (default: %(default)s)",
+    )
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--chunks", type=int, default=8)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced matrix for CI smoke runs (8/16 jobs, all policies)",
+    )
+    parser.add_argument(
+        "--compare-legacy",
+        action="store_true",
+        help="also run the pre-indexing reference path and report speedups",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    job_counts = tuple(int(n) for n in args.jobs.split(","))
+    policies = tuple(p.strip() for p in args.policies.split(","))
+    if args.quick:
+        job_counts = tuple(n for n in job_counts if n <= 16) or (8, 16)
+    document = run_matrix(
+        job_counts,
+        policies,
+        iterations=args.iterations,
+        chunks=args.chunks,
+        compare_legacy=args.compare_legacy,
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"[written to {args.json}]")
+    return document
+
+
+if __name__ == "__main__":
+    main()

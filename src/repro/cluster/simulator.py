@@ -52,11 +52,24 @@ class ClusterConfig:
     registry name (``"fifo"``, ``"weighted"``, ``"ftf"``, ``"preempt"``), a
     configured :class:`FairnessPolicy` instance, or ``None`` for the
     default first-come sharing.
+
+    ``record_ops`` defaults to False for cluster runs: per-op
+    :class:`OpRecord` collection grows without bound across hundreds of
+    jobs and no cluster metric reads it.  Turn it on to inspect shared-
+    network timelines (``sim.network.result().records``).
+
+    ``optimized`` selects the hot-path implementation: the indexed ready
+    queues, plan/consistency caches, and event cancellation (default), or
+    the pre-indexing reference path — kept so the determinism property
+    tests and ``benchmarks/bench_scaling.py --compare-legacy`` can compare
+    the two.
     """
 
     training: TrainingConfig | None = None
     isolated_baselines: bool = True
     fairness: FairnessPolicy | str | None = None
+    record_ops: bool = False
+    optimized: bool = True
 
 
 class _JobDriver:
@@ -155,7 +168,7 @@ class ClusterSimulator:
         self.training_config = self.config.training or TrainingConfig()
         self.fairness = get_fairness(self.config.fairness)
         self._isolated_cache = isolated_cache if isolated_cache is not None else {}
-        self.engine = EventQueue()
+        self.engine = EventQueue(cancellation=self.config.optimized)
         splitter = Splitter(self.training_config.chunks_per_collective)
         self.network = NetworkSimulator(
             topology,
@@ -163,6 +176,9 @@ class ClusterSimulator:
             policy=self.training_config.policy,
             fusion=self.training_config.fusion,
             engine=self.engine,
+            record_ops=self.config.record_ops,
+            indexed_queues=self.config.optimized,
+            plan_cache=self.config.optimized,
         )
         self._drivers: list[_JobDriver] = []
         for spec in self.jobs:

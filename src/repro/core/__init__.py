@@ -24,6 +24,7 @@ from .policies import (
     get_policy,
     policy_names,
 )
+from .ready_queue import IndexedReadyQueue, ListReadyQueue, ReadyQueue
 from .scheduler import (
     DEFAULT_THRESHOLD_DIVISOR,
     BaselineScheduler,
@@ -55,6 +56,9 @@ __all__ = [
     "LargestChunkFirstPolicy",
     "get_policy",
     "policy_names",
+    "ReadyQueue",
+    "IndexedReadyQueue",
+    "ListReadyQueue",
     "IdealEstimator",
     "LpIdealEstimator",
     "FluidSolution",

@@ -46,27 +46,49 @@ class LatencyModel:
             raise CollectiveError(
                 f"need {topology.ndims} algorithms, got {len(self.algorithms)}"
             )
+        # Per-(op, size, dim) memo: the algorithms are pure analytical
+        # formulas and training loops resubmit identical collectives every
+        # iteration, so the same lookups recur millions of times on the
+        # simulation hot path.  One dict serves the three base predictions
+        # (the key leads with the method tag); op_time composes two of them.
+        self._memo: dict[tuple, float] = {}
 
     # --- per-op predictions ------------------------------------------------
     def bytes_per_npu(self, op: PhaseOp, stage_size: float, dim_index: int) -> float:
         """Bytes one NPU sends into ``dim_index`` for this op (``n_K``)."""
-        dim = self.topology.dims[dim_index]
-        return self.algorithms[dim_index].bytes_per_npu(op, stage_size, dim.size)
+        key = ("bytes", op, stage_size, dim_index)
+        value = self._memo.get(key)
+        if value is None:
+            dim = self.topology.dims[dim_index]
+            value = self.algorithms[dim_index].bytes_per_npu(op, stage_size, dim.size)
+            self._memo[key] = value
+        return value
 
     def chunk_load(self, op: PhaseOp, stage_size: float, dim_index: int) -> float:
         """Scheduler-visible load: the bandwidth term ``n_K x B_K`` only."""
-        dim = self.topology.dims[dim_index]
-        return self.algorithms[dim_index].transfer_time(op, stage_size, dim)
+        key = ("load", op, stage_size, dim_index)
+        value = self._memo.get(key)
+        if value is None:
+            dim = self.topology.dims[dim_index]
+            value = self.algorithms[dim_index].transfer_time(op, stage_size, dim)
+            self._memo[key] = value
+        return value
 
     def fixed_latency(self, op: PhaseOp, dim_index: int) -> float:
         """Fixed delay ``A_K = steps x step_latency`` for this op."""
-        dim = self.topology.dims[dim_index]
-        return self.algorithms[dim_index].fixed_latency(op, dim)
+        key = ("fixed", op, dim_index)
+        value = self._memo.get(key)
+        if value is None:
+            dim = self.topology.dims[dim_index]
+            value = self.algorithms[dim_index].fixed_latency(op, dim)
+            self._memo[key] = value
+        return value
 
     def op_time(self, op: PhaseOp, stage_size: float, dim_index: int) -> float:
         """Full op latency ``A_K + n_K x B_K``."""
-        dim = self.topology.dims[dim_index]
-        return self.algorithms[dim_index].op_time(op, stage_size, dim)
+        return self.fixed_latency(op, dim_index) + self.chunk_load(
+            op, stage_size, dim_index
+        )
 
     # --- aggregates used by the scheduler -----------------------------------
     def collective_fixed_latency(self, ctype: CollectiveType, dim_index: int) -> float:

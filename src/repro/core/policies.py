@@ -14,14 +14,21 @@ the policy picks which runs next:
 
 Policies order *ready* ops only; op readiness (previous stage completed) is
 the executor's concern.
+
+A policy also supplies the *ready-queue structure* the executor keeps its
+ready ops in (:meth:`IntraDimPolicy.make_queue`): each policy's heap is
+keyed by its own ``sort_key``, so selection is O(log n) instead of the
+linear ``select(list)`` scan — which remains available for compatibility
+(and as the reference path for the determinism property tests).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from ..errors import ConfigError
+from .ready_queue import IndexedReadyQueue, ListReadyQueue, ReadyQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..sim.executor import OpState
@@ -41,6 +48,27 @@ class IntraDimPolicy(abc.ABC):
         if not ready_ops:
             raise ConfigError("policy invoked with no ready ops")
         return min(ready_ops, key=self.sort_key)
+
+    def make_queue(self, indexed: bool = True) -> ReadyQueue:
+        """Build this policy's ready-queue structure for one channel.
+
+        The default indexed structure is a lazy-deletion heap ordered by
+        this policy's ``sort_key`` (the key *is* the policy, so FIFO gets
+        an arrival-order heap, SCF/LCF size-order heaps).  ``indexed=False``
+        returns the seed-semantics flat list for reference comparisons.
+        """
+        if indexed:
+            return IndexedReadyQueue(self.sort_key)
+        return ListReadyQueue(self)
+
+    def select_from(
+        self,
+        queue: ReadyQueue,
+        owner: str | None = None,
+        exclude_owners: Iterable[str] | None = None,
+    ) -> "OpState | None":
+        """Best eligible op in ``queue`` under this policy, or ``None``."""
+        return queue.select(owner=owner, exclude_owners=exclude_owners)
 
 
 class FifoPolicy(IntraDimPolicy):

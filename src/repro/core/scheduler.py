@@ -264,5 +264,16 @@ class SchedulerFactory:
         )
 
     @property
+    def signature(self) -> tuple:
+        """Hashable configuration identity.
+
+        Two factories with equal signatures produce schedulers that emit
+        identical plans for identical requests (both built-in schedulers
+        are pure per collective), which is what lets the network simulator
+        cache plans by ``(signature, request signature)``.
+        """
+        return (self.kind, self.threshold_divisor, self.overshoot_guard, self.splitter)
+
+    @property
     def name(self) -> str:
         return self.create().name

@@ -1,6 +1,6 @@
 """Discrete-event network simulation substrate."""
 
-from .engine import EventQueue
+from .engine import EventHandle, EventQueue
 from .executor import ChannelStats, DimensionChannel, FusionConfig, OpState
 from .network import (
     CollectiveResult,
@@ -19,6 +19,7 @@ from .timeline import Interval, OpRecord, merge_intervals, render_gantt, total_l
 
 __all__ = [
     "EventQueue",
+    "EventHandle",
     "FusionConfig",
     "OpState",
     "DimensionChannel",

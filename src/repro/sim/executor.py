@@ -43,9 +43,10 @@ from typing import TYPE_CHECKING, Callable
 
 from ..collectives.phases import Stage
 from ..core.policies import IntraDimPolicy
+from ..core.ready_queue import ReadyQueue
 from ..errors import ConfigError, SimulationError
 from ..topology import DimensionSpec
-from .engine import EventQueue
+from .engine import EventHandle, EventQueue
 from .timeline import Interval, OpRecord
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,6 +96,7 @@ class OpState:
         "ready_time",
         "start_time",
         "end_time",
+        "queued",
     )
 
     def __init__(
@@ -123,6 +125,8 @@ class OpState:
         self.ready_time = float("inf")
         self.start_time = float("nan")
         self.end_time = float("nan")
+        #: Ready-queue liveness flag (lazy deletion in the indexed queues).
+        self.queued = False
 
     @property
     def key(self) -> tuple[int, int, int]:
@@ -169,8 +173,10 @@ class _RunningBatch:
     """Serial-wire bookkeeping for the batch currently (or lately) on the wire.
 
     ``remaining`` is the transfer time still owed; preemption decrements it
-    by the elapsed segment and bumps ``generation`` so the segment's pending
-    release/completion events become stale no-ops.
+    by the elapsed segment and *cancels* the segment's pending release and
+    completion events outright (the ``generation`` counter stays as a
+    defensive guard, and carries the legacy no-cancellation engine mode used
+    by the perf harness's before/after comparison).
     """
 
     __slots__ = (
@@ -182,6 +188,8 @@ class _RunningBatch:
         "remaining",
         "segment_start",
         "generation",
+        "release_handle",
+        "complete_handle",
     )
 
     def __init__(self, batch: list[OpState], fixed: float, transfer: float) -> None:
@@ -193,18 +201,30 @@ class _RunningBatch:
         self.remaining = transfer
         self.segment_start = 0.0
         self.generation = 0
+        self.release_handle: EventHandle | None = None
+        self.complete_handle: EventHandle | None = None
 
 
 class _FlowState:
     """One tenant's in-flight batch under weighted bandwidth sharing.
 
     ``remaining`` is transfer work measured in seconds at *full* wire rate;
-    the flow drains at ``rate`` (its weight share), so its finish events are
-    recomputed — and old ones invalidated via ``generation`` — every time
-    the active set or the weights change.
+    the flow drains at ``rate`` (its weight share), so its finish event is
+    recomputed — and the old one cancelled — every time the active set or
+    the weights change.  ``generation`` remains as a defensive guard and
+    carries the legacy no-cancellation engine mode.
     """
 
-    __slots__ = ("batch", "owner", "fixed", "remaining", "rate", "last_update", "generation")
+    __slots__ = (
+        "batch",
+        "owner",
+        "fixed",
+        "remaining",
+        "rate",
+        "last_update",
+        "generation",
+        "finish_handle",
+    )
 
     def __init__(self, batch: list[OpState], owner: str, fixed: float, transfer: float) -> None:
         self.batch = batch
@@ -214,6 +234,7 @@ class _FlowState:
         self.rate = 0.0
         self.last_update = 0.0
         self.generation = 0
+        self.finish_handle: EventHandle | None = None
 
 
 #: Weights below this are clamped up so a zero-weight tenant still drains
@@ -233,6 +254,10 @@ class DimensionChannel:
     The cluster fairness layer may switch it to weighted per-tenant sharing
     (:meth:`set_share_weights`) or arm priority preemption
     (:meth:`enable_preemption`); see the module docstring.
+
+    ``indexed`` selects the ready-queue structure: the policy-keyed indexed
+    queues (default, O(log n) per decision) or the seed-semantics flat list
+    (the reference path the determinism property tests compare against).
     """
 
     def __init__(
@@ -243,6 +268,7 @@ class DimensionChannel:
         fusion: FusionConfig,
         engine: EventQueue,
         on_batch_done: Callable[["DimensionChannel", list[OpState]], None],
+        indexed: bool = True,
     ) -> None:
         self.dim_index = dim_index
         self.dim = dim
@@ -250,7 +276,8 @@ class DimensionChannel:
         self.fusion = fusion
         self.engine = engine
         self.on_batch_done = on_batch_done
-        self.queue: list[OpState] = []
+        self.queue: ReadyQueue = policy.make_queue(indexed=indexed)
+        self.queue.bind(self._op_is_eligible)
         self.busy = False
         self.stats = ChannelStats()
         # collective_seq -> remaining enforced op-key order for this channel.
@@ -344,15 +371,12 @@ class DimensionChannel:
         """Lock this channel's op order for one collective."""
         self.enforced_orders[collective_seq] = list(op_keys)
 
-    def _eligible_ops(self) -> list[OpState]:
-        """Ready ops allowed to start now under enforced per-collective orders."""
-        return [op for op in self.queue if self._op_is_eligible(op)]
-
     # --- execution ----------------------------------------------------------
     def enqueue(self, op: OpState) -> None:
         """An op's previous stage finished: it is now ready on this channel."""
         op.ready_time = self.engine.now
-        self.queue.append(op)
+        eligible = self._op_is_eligible(op)
+        self.queue.push(op, eligible)
         self._update_activity()
         if (
             self.preemption_enabled
@@ -360,7 +384,7 @@ class DimensionChannel:
             and self.busy
             and self._running is not None
             and op.priority > self._running.priority
-            and self._op_is_eligible(op)
+            and eligible
         ):
             self._preempt_running()
         self.try_start()
@@ -382,64 +406,47 @@ class DimensionChannel:
             return
         if self.busy:
             return
-        eligible = self._eligible_ops()
+        best = self.policy.select_from(self.queue)
         paused = self._best_paused()
         if paused is not None and (
-            not eligible
-            or paused.priority >= max(op.priority for op in eligible)
+            best is None or paused.priority >= self.queue.max_priority()
         ):
             self._paused.remove(paused)
             self._start_segment(paused)
             return
-        if not eligible:
+        if best is None:
             return
-        batch = self._pick_batch(eligible)
-        self._dequeue(batch)
-        self._execute(batch)
+        self._execute(self._pick_batch(best))
 
-    def _dequeue(self, batch: list[OpState]) -> None:
-        for op in batch:
-            self.queue.remove(op)
-            order = self.enforced_orders.get(op.collective_seq)
-            if order and order[0] == op.key:
-                order.pop(0)
+    def _take(self, op: OpState) -> OpState:
+        """Remove a selected op from the ready structure and advance orders.
+
+        Popping an enforced order's head makes the next op in that order
+        eligible; the indexed queue unparks it immediately, so fusion and
+        subsequent selections see it without any rescan (this is the
+        incremental equivalent of the seed's sliding ``taken`` offsets).
+        """
+        self.queue.discard(op)
+        order = self.enforced_orders.get(op.collective_seq)
+        if order and order[0] == op.key:
+            order.pop(0)
+            if order:
+                self.queue.promote(order[0])
+        return op
 
     def _pick_batch(
-        self, eligible: list[OpState], fusion_owner: str | None = None
+        self, first: OpState, fusion_owner: str | None = None
     ) -> list[OpState]:
-        first = self.policy.select(eligible)
-        batch = [first]
+        batch = [self._take(first)]
         if not self.fusion.enabled or not self.fusion.is_small(first):
             return batch
-        # Fusing preserves relative start order, so for enforced collectives
-        # eligibility slides forward as earlier ops join the batch.
-        taken: dict[int, int] = {}
-        if first.collective_seq in self.enforced_orders:
-            taken[first.collective_seq] = 1
+        # Fusing preserves relative start order: each accepted op advances
+        # its enforced order, so eligibility slides forward with the batch.
         while len(batch) < self.fusion.max_ops:
-            remaining = []
-            for op in self.queue:
-                if op in batch:
-                    continue
-                if fusion_owner is not None and op.owner != fusion_owner:
-                    continue
-                order = self.enforced_orders.get(op.collective_seq)
-                if order is None:
-                    remaining.append(op)
-                else:
-                    offset = taken.get(op.collective_seq, 0)
-                    if len(order) > offset and order[offset] == op.key:
-                        remaining.append(op)
-            if not remaining:
+            candidate = self.policy.select_from(self.queue, owner=fusion_owner)
+            if candidate is None or not self.fusion.is_small(candidate):
                 break
-            candidate = self.policy.select(remaining)
-            if not self.fusion.is_small(candidate):
-                break
-            batch.append(candidate)
-            if candidate.collective_seq in self.enforced_orders:
-                taken[candidate.collective_seq] = (
-                    taken.get(candidate.collective_seq, 0) + 1
-                )
+            batch.append(self._take(candidate))
         return batch
 
     # --- serial wire (default, with optional preemption) -------------------
@@ -494,18 +501,21 @@ class DimensionChannel:
         # Completion is scheduled before the wire release so that when the
         # fixed delay is zero (same-instant tie) the finished batch's
         # successor ops are enqueued before the channel picks its next batch.
-        self.engine.schedule(end, lambda: self._complete(running, generation))
-        self.engine.schedule(
+        running.complete_handle = self.engine.schedule(
+            end, lambda: self._complete(running, generation)
+        )
+        running.release_handle = self.engine.schedule(
             now + remaining, lambda: self._release_wire(running, generation)
         )
 
     def _preempt_running(self) -> None:
         """Pause the running batch; its leftover transfer re-runs later.
 
-        The segment's pending release/completion events are invalidated via
-        the generation counter, and the statistics credited at segment start
-        are debited by exactly the un-done part, so preemption never loses
-        or double-counts work.
+        The segment's pending release/completion events are cancelled
+        outright (the generation counter remains as a guard for the legacy
+        no-cancellation engine mode), and the statistics credited at segment
+        start are debited by exactly the un-done part, so preemption never
+        loses or double-counts work.
         """
         running = self._running
         assert running is not None
@@ -514,6 +524,8 @@ class DimensionChannel:
         if remaining <= 1e-18:
             return  # the segment is done; the wire releases this instant
         running.generation += 1
+        self.engine.cancel(running.complete_handle)
+        self.engine.cancel(running.release_handle)
         frac = remaining / running.transfer_total
         self.stats.busy_seconds -= remaining
         self.stats.transfer_seconds -= remaining
@@ -527,10 +539,15 @@ class DimensionChannel:
         self._update_activity()
 
     def _best_paused(self) -> _RunningBatch | None:
-        """Highest-priority paused batch (ties: preempted first)."""
+        """Highest-priority paused batch (ties: most recently preempted).
+
+        On equal priority the *last* batch pushed to ``_paused`` wins — the
+        most recently preempted work resumes first (LIFO), which keeps a
+        preemption storm from starving the batch it displaced last.
+        """
         best = None
         for running in self._paused:
-            if best is None or running.priority > best.priority:
+            if best is None or running.priority >= best.priority:
                 best = running
         return best
 
@@ -558,16 +575,12 @@ class DimensionChannel:
     def _try_start_shared(self) -> None:
         """Admit one flow per tenant that has eligible work and none in flight."""
         while True:
-            flows = self._flows
-            eligible = [
-                op for op in self._eligible_ops() if op.owner not in flows
-            ]
-            if not eligible:
+            first = self.policy.select_from(
+                self.queue, exclude_owners=self._flows
+            )
+            if first is None:
                 return
-            first = self.policy.select(eligible)
-            owner_eligible = [op for op in eligible if op.owner == first.owner]
-            batch = self._pick_batch(owner_eligible, fusion_owner=first.owner)
-            self._dequeue(batch)
+            batch = self._pick_batch(first, fusion_owner=first.owner)
             self._start_flow(batch)
 
     def _start_flow(self, batch: list[OpState]) -> None:
@@ -594,7 +607,9 @@ class DimensionChannel:
         Called whenever the active set or the weights change.  Each flow's
         progress since its last update is banked at its old rate, then every
         flow gets rate ``w_i / sum(active w)`` and a fresh finish event; the
-        generation counter makes previously scheduled finishes stale no-ops.
+        superseded finish event is cancelled so reweight storms cannot grow
+        the heap (the generation counter remains as a guard for the legacy
+        no-cancellation engine mode).
         """
         if not self._flows:
             return
@@ -609,8 +624,9 @@ class DimensionChannel:
             flow.rate = self._weight(flow.owner) / total
             flow.generation += 1
             generation = flow.generation
+            self.engine.cancel(flow.finish_handle)
             finish = now + flow.remaining / flow.rate
-            self.engine.schedule(
+            flow.finish_handle = self.engine.schedule(
                 finish,
                 lambda flow=flow, generation=generation: self._finish_flow(
                     flow, generation

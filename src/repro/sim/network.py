@@ -16,7 +16,7 @@ full aggregate bandwidth of the dimensions it spans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..collectives.registry import algorithms_for_topology
@@ -126,9 +126,11 @@ def _check_not_past(
     """Reject submissions dated before the current simulation time.
 
     Without this, a stale ``at_time`` only surfaces later as a confusing
-    scheduling error deep inside :class:`EventQueue`.
+    scheduling error deep inside :class:`EventQueue`.  The tolerance is
+    relative to the current time (see :meth:`EventQueue.past_tolerance`) so
+    float round-off at large simulation times is not rejected.
     """
-    if issue_time < engine.now - 1e-15:
+    if issue_time < engine.now - engine.past_tolerance():
         raise SimulationError(
             f"cannot submit {request.ctype.value} request "
             f"{request.request_id} (tag={request.tag!r}, "
@@ -178,6 +180,28 @@ class NetworkSimulator:
         Table 1 defaults — e.g. ``{2: "SwitchOffload"}`` to model in-network
         collective offload on dim3 (Sec. 4.5), or ``{0: "Tree"}`` for
         ablations.
+    record_ops:
+        When True (default), every completed chunk op leaves an
+        :class:`OpRecord` in ``result().records`` — right for single-job
+        analysis (timelines, Fig. 5/9 reproductions).  Cluster sweeps with
+        hundreds of jobs turn it off: the per-op list grows without bound
+        and none of the cluster metrics read it.
+    indexed_queues:
+        When True (default), dimension channels use the policy-indexed
+        ready queues (O(log n) per scheduling decision).  False selects the
+        seed-semantics flat-list scan — the reference path used by the
+        determinism property tests and the perf harness; when the simulator
+        also owns its engine, event cancellation is disabled with it so the
+        pre-indexing heap-growth behavior is reproduced faithfully.
+    plan_cache:
+        When True (default), load-independent :class:`CollectivePlan`s are
+        cached by request signature (schedulers are pure per collective —
+        the Themis tracker resets every request — so training loops that
+        resubmit identical collectives each iteration replan only once).
+        Enforced intra-dimension orders are cached under the same key,
+        which also skips the per-iteration consistency pre-simulation.
+        Caching applies only to plain :class:`SchedulerFactory` instances;
+        subclasses (e.g. replay factories) always plan afresh.
     """
 
     def __init__(
@@ -189,24 +213,42 @@ class NetworkSimulator:
         engine: EventQueue | None = None,
         enforce_consistency: bool = False,
         algorithm_overrides: dict[int, str] | None = None,
+        record_ops: bool = True,
+        indexed_queues: bool = True,
+        plan_cache: bool = True,
     ) -> None:
         self.topology = topology
         self.scheduler_factory = scheduler or SchedulerFactory("themis")
         self.policy = policy if isinstance(policy, IntraDimPolicy) else get_policy(policy)
         self.fusion = fusion or FusionConfig()
-        self.engine = engine or EventQueue()
+        self.engine = engine or EventQueue(cancellation=indexed_queues)
         self.enforce_consistency = enforce_consistency
         self.algorithm_overrides = dict(algorithm_overrides or {})
+        self.record_ops = record_ops
+        self.indexed_queues = indexed_queues
         self.channels = [
             DimensionChannel(
-                i, dim, self.policy, self.fusion, self.engine, self._on_batch_done
+                i,
+                dim,
+                self.policy,
+                self.fusion,
+                self.engine,
+                self._on_batch_done,
+                indexed=indexed_queues,
             )
             for i, dim in enumerate(topology.dims)
         ]
         self._states: dict[int, _CollectiveState] = {}
         self._results: list[CollectiveResult] = []
         self._records: list[OpRecord] = []
+        self._records_sorted = True
         self._subtopo_cache: dict[tuple, tuple[Topology, LatencyModel]] = {}
+        self._plan_cache_enabled = plan_cache
+        self._plan_cache: dict[tuple, CollectivePlan] = {}
+        #: ``plan key -> {parent dim: [(chunk_id, stage_index), ...]}`` —
+        #: enforced orders with the request id stripped, re-stamped per
+        #: submission (op keys embed the submitting request's id).
+        self._order_cache: dict[tuple, dict[int, list[tuple[int, int]]]] = {}
         self._inflight = 0
         self._comm_active_since: float | None = None
         self._comm_active: list[Interval] = []
@@ -296,6 +338,27 @@ class NetworkSimulator:
         self._subtopo_cache[key] = (subtopo, model)
         return subtopo, model
 
+    def _plan_key(
+        self, request: CollectiveRequest, factory: SchedulerFactory
+    ) -> tuple | None:
+        """Cache key for load-independent plans, or ``None`` (don't cache).
+
+        A plan is a pure function of the request signature and the factory
+        configuration: both built-in schedulers are stateless across
+        collectives (the Themis load tracker resets per request) and a
+        chunk's dimension order never depends on issue time, priority, or
+        owner.  Subclassed factories may carry state, so only exact
+        :class:`SchedulerFactory` instances are cached.
+        """
+        if not self._plan_cache_enabled or type(factory) is not SchedulerFactory:
+            return None
+        return (
+            factory.signature,
+            request.ctype,
+            request.size,
+            request.communicator_key,
+        )
+
     def _start_collective(
         self,
         result: CollectiveResult,
@@ -304,8 +367,22 @@ class NetworkSimulator:
     ) -> None:
         request = result.request
         subtopo, model = self._resolve_subtopology(request)
-        scheduler = (scheduler_factory or self.scheduler_factory).create()
-        plan = scheduler.plan(request, subtopo, model, issue_time=self.engine.now)
+        factory = scheduler_factory or self.scheduler_factory
+        plan_key = self._plan_key(request, factory)
+        cached = self._plan_cache.get(plan_key) if plan_key is not None else None
+        if cached is not None:
+            # The chunk schedules are shared; only the identity fields are
+            # re-stamped for this submission.
+            plan = replace(
+                cached, request=request, issue_time=self.engine.now, metadata={}
+            )
+        else:
+            scheduler = factory.create()
+            plan = scheduler.plan(
+                request, subtopo, model, issue_time=self.engine.now
+            )
+            if plan_key is not None:
+                self._plan_cache[plan_key] = plan
         result.plan = plan
 
         chunk_ops: list[list[OpState]] = []
@@ -338,30 +415,52 @@ class NetworkSimulator:
         self._mark_comm_active(request.owner)
 
         if self.enforce_consistency:
-            self._install_enforced_orders(state)
+            self._install_enforced_orders(state, plan_key)
 
         for ops in chunk_ops:
             self.channels[ops[0].parent_dim].enqueue(ops[0])
 
-    def _install_enforced_orders(self, state: _CollectiveState) -> None:
-        """Pre-simulate this collective alone and lock per-dim op orders."""
-        from ..core.consistency import presimulate_intra_dim_orders
+    def _install_enforced_orders(
+        self, state: _CollectiveState, plan_key: tuple | None
+    ) -> None:
+        """Pre-simulate this collective alone and lock per-dim op orders.
 
-        orders = presimulate_intra_dim_orders(
-            state.result.plan,
-            self.topology,
-            policy=self.policy,
-            fusion=self.fusion,
-        )
-        for dim_index, keys in orders.items():
+        The pre-simulation depends only on the plan (and the simulator-wide
+        policy/fusion), so its result is cached under the same signature as
+        the plan itself — repeated submissions of an identical collective
+        re-stamp the cached order with their request id instead of
+        re-running the whole consistency simulation.
+        """
+        generic = self._order_cache.get(plan_key) if plan_key is not None else None
+        if generic is None:
+            from ..core.consistency import presimulate_intra_dim_orders
+
+            orders = presimulate_intra_dim_orders(
+                state.result.plan,
+                self.topology,
+                policy=self.policy,
+                fusion=self.fusion,
+            )
+            generic = {
+                dim_index: [(chunk_id, stage_index) for _, chunk_id, stage_index in keys]
+                for dim_index, keys in orders.items()
+            }
+            if plan_key is not None:
+                self._order_cache[plan_key] = generic
+        request_id = state.result.request.request_id
+        for dim_index, pairs in generic.items():
             self.channels[dim_index].set_enforced_order(
-                state.result.request.request_id, keys
+                request_id,
+                [(request_id, chunk_id, stage_index) for chunk_id, stage_index in pairs],
             )
 
     # --- progression ----------------------------------------------------------
     def _on_batch_done(self, channel: DimensionChannel, batch: list[OpState]) -> None:
+        record = self.record_ops
         for op in batch:
-            self._records.append(op.to_record())
+            if record:
+                self._records.append(op.to_record())
+                self._records_sorted = False
             state = self._states[op.collective_seq]
             ops = state.chunk_ops[op.chunk_id]
             next_index = op.stage_index + 1
@@ -442,9 +541,16 @@ class NetworkSimulator:
         for owner, since in self._owner_active_since.items():
             if now > since:
                 by_owner.setdefault(owner, []).append(Interval(since, now))
+        # Records are sorted lazily, once per batch of appends: repeated
+        # mid-run snapshots re-sort only what arrived since the last one
+        # (timsort on the nearly sorted list), and record-free cluster
+        # sweeps skip the O(n log n) entirely.
+        if not self._records_sorted:
+            self._records.sort(key=lambda r: (r.start_time, r.dim_index))
+            self._records_sorted = True
         return ExecutionResult(
             topology=self.topology,
-            records=sorted(self._records, key=lambda r: (r.start_time, r.dim_index)),
+            records=list(self._records),
             collectives=list(self._results),
             dim_transfer_seconds=[c.stats.transfer_seconds for c in self.channels],
             dim_busy_seconds=[c.stats.busy_seconds for c in self.channels],

@@ -34,10 +34,14 @@ FAST_TRAINING = TrainingConfig(chunks_per_collective=16)
 
 
 def fast_config(fairness=None, isolated_baselines=True) -> ClusterConfig:
+    # record_ops defaults to False for cluster runs (sweeps do not read
+    # per-op records); these tests assert on shared-network timelines, so
+    # they opt back in.
     return ClusterConfig(
         training=FAST_TRAINING,
         isolated_baselines=isolated_baselines,
         fairness=fairness,
+        record_ops=True,
     )
 
 
@@ -313,6 +317,65 @@ class TestPreemptionWire:
         )
         sim.run()
         assert sim.preemption_count == 0
+
+
+class TestPausedResumeOrder:
+    """`_best_paused` order: priority first, most-recently-preempted on ties."""
+
+    def _channel(self):
+        from repro.core import get_policy
+        from repro.sim import EventQueue
+        from repro.sim.executor import DimensionChannel
+        from repro.topology import dimension
+
+        return DimensionChannel(
+            0,
+            dimension("sw", 4, 400.0, latency_ns=100),
+            get_policy("fifo"),
+            FusionConfig(enabled=False),
+            EventQueue(),
+            on_batch_done=lambda channel, batch: None,
+        )
+
+    @staticmethod
+    def _paused_batch(priority: int):
+        from repro.collectives.phases import Stage
+        from repro.collectives.types import PhaseOp
+        from repro.sim.executor import OpState, _RunningBatch
+
+        op = OpState(
+            collective_seq=0,
+            chunk_id=0,
+            stage_index=0,
+            stage=Stage(dim_index=0, op=PhaseOp.RS, stage_size=1.0),
+            parent_dim=0,
+            bytes_sent=1.0,
+            transfer_time=1.0,
+            fixed_time=0.0,
+            priority=priority,
+        )
+        return _RunningBatch([op], fixed=0.0, transfer=1.0)
+
+    def test_tie_resumes_most_recently_preempted(self):
+        """Docstring contract: on equal priority the batch preempted last
+        (appended to ``_paused`` last) resumes first."""
+        channel = self._channel()
+        early = self._paused_batch(priority=1)
+        late = self._paused_batch(priority=1)
+        channel._paused = [early, late]
+        assert channel._best_paused() is late
+
+    def test_strictly_higher_priority_still_dominates(self):
+        channel = self._channel()
+        high = self._paused_batch(priority=2)
+        low_but_recent = self._paused_batch(priority=1)
+        channel._paused = [high, low_but_recent]
+        assert channel._best_paused() is high
+        channel._paused = [low_but_recent, high]
+        assert channel._best_paused() is high
+
+    def test_empty_paused_returns_none(self):
+        assert self._channel()._best_paused() is None
 
 
 class TestClusterFairnessPolicies:

@@ -1,0 +1,227 @@
+"""Determinism property tests: the optimized hot path is bit-identical.
+
+The indexed ready-queues, the plan/consistency caches, and event
+cancellation+compaction are pure performance changes — the paper's Sec.
+4.6.2 consistency mechanism depends on the simulation being deterministic,
+so the optimized path must produce *exactly* the timeline the seed
+implementation produced.  These tests run the same submissions through
+both implementations (``indexed_queues``/``plan_cache``/``optimized``
+toggles select the pre-indexing reference path, which preserves the seed
+semantics) and assert identical ``OpRecord`` timelines, completion orders,
+and cluster reports — exact float equality, no tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSimulator, JobSpec
+from repro.collectives import CollectiveRequest, CollectiveType
+from repro.core import SchedulerFactory, Splitter
+from repro.sim import EventQueue, FusionConfig, NetworkSimulator
+from repro.topology import Topology, dimension
+from repro.training import TrainingConfig
+from repro.units import MB
+from repro.workloads import Layer, Workload
+
+POLICIES = ("fifo", "scf", "lcf")
+
+
+def three_dim_topology() -> Topology:
+    return Topology(
+        [
+            dimension("sw", 4, 400.0, latency_ns=100),
+            dimension("sw", 4, 200.0, latency_ns=500),
+            dimension("sw", 2, 100.0, latency_ns=1000),
+        ],
+        name="equiv-3d",
+    )
+
+
+def _submit_mixed_workload(sim: NetworkSimulator) -> None:
+    """Concurrent collectives: mixed sizes, dim subsets, priorities, tenants,
+    and an exact repeat (exercises the plan cache on the optimized path)."""
+    sim.submit(CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB, owner="a"))
+    sim.submit(
+        CollectiveRequest(CollectiveType.ALL_REDUCE, 16 * MB, owner="b"),
+        at_time=1e-4,
+    )
+    sim.submit(
+        CollectiveRequest(
+            CollectiveType.REDUCE_SCATTER, 4 * MB, priority=2, owner="a"
+        ),
+        at_time=2e-4,
+    )
+    sim.submit(
+        CollectiveRequest(
+            CollectiveType.ALL_GATHER, 8 * MB, dim_indices=(0, 1), owner="b"
+        ),
+        at_time=5e-5,
+    )
+    sim.submit(
+        CollectiveRequest(CollectiveType.ALL_REDUCE, 64 * MB, owner="a"),
+        at_time=3e-4,
+    )
+
+
+def _timeline(sim: NetworkSimulator) -> tuple:
+    """Normalized timeline: per-op times plus completion order/times.
+
+    Request ids are globally monotonic, so they are rebased to the run's
+    first id to make two separate runs comparable.
+    """
+    result = sim.run()
+    base = result.collectives[0].request.request_id
+    records = tuple(
+        (
+            r.collective_seq - base,
+            r.chunk_id,
+            r.stage_index,
+            r.dim_index,
+            r.ready_time,
+            r.start_time,
+            r.end_time,
+        )
+        for r in result.records
+    )
+    completions = tuple(
+        (c.request.request_id - base, c.completion_time)
+        for c in result.collectives
+    )
+    return records, completions
+
+
+def _run_single(optimized: bool, policy: str, fusion_on: bool, enforce: bool) -> tuple:
+    sim = NetworkSimulator(
+        three_dim_topology(),
+        SchedulerFactory("themis", splitter=Splitter(8)),
+        policy=policy,
+        fusion=FusionConfig(enabled=fusion_on),
+        enforce_consistency=enforce,
+        indexed_queues=optimized,
+        plan_cache=optimized,
+    )
+    _submit_mixed_workload(sim)
+    return _timeline(sim)
+
+
+class TestSingleSimulatorEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("fusion_on", [True, False])
+    @pytest.mark.parametrize("enforce", [True, False])
+    def test_identical_timelines(self, policy, fusion_on, enforce):
+        optimized = _run_single(True, policy, fusion_on, enforce)
+        reference = _run_single(False, policy, fusion_on, enforce)
+        assert optimized == reference
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_baseline_scheduler_identical(self, policy):
+        def run(optimized: bool) -> tuple:
+            sim = NetworkSimulator(
+                three_dim_topology(),
+                SchedulerFactory("baseline", splitter=Splitter(8)),
+                policy=policy,
+                indexed_queues=optimized,
+                plan_cache=optimized,
+            )
+            _submit_mixed_workload(sim)
+            return _timeline(sim)
+
+        assert run(True) == run(False)
+
+
+def _comm_heavy(layers: int, param_mb: float, name: str) -> Workload:
+    return Workload(
+        name=name,
+        layers=[
+            Layer(
+                name=f"l{i}",
+                fwd_flops=1e8,
+                bwd_flops=2e8,
+                param_bytes=param_mb * MB,
+            )
+        for i in range(layers)
+        ],
+        batch_per_npu=1,
+    )
+
+
+def _cluster_jobs() -> list[JobSpec]:
+    return [
+        JobSpec(name="elephant", workload=_comm_heavy(10, 3, "e"), iterations=3),
+        JobSpec(
+            name="mouse",
+            workload=_comm_heavy(2, 20, "m"),
+            iterations=3,
+            arrival_time=1e-4,
+            weight=2.0,
+        ),
+        JobSpec(
+            name="urgent",
+            workload=_comm_heavy(2, 8, "u"),
+            iterations=2,
+            arrival_time=2e-4,
+            priority=3,
+        ),
+    ]
+
+
+def _cluster_report(optimized: bool, fairness: str):
+    config = ClusterConfig(
+        training=TrainingConfig(chunks_per_collective=16),
+        isolated_baselines=False,
+        fairness=fairness,
+        optimized=optimized,
+    )
+    sim = ClusterSimulator(three_dim_topology(), _cluster_jobs(), config)
+    report = sim.run()
+    return report, sim
+
+
+class TestClusterEquivalence:
+    """``enable_preemption``/``set_share_weights`` runs report identical
+    stats on the optimized and reference paths — including the FTF policy,
+    whose reweight storms exercise flow-event cancellation hardest."""
+
+    @pytest.mark.parametrize("fairness", ["fifo", "weighted", "ftf", "preempt"])
+    def test_identical_cluster_stats(self, fairness):
+        optimized, opt_sim = _cluster_report(True, fairness)
+        reference, ref_sim = _cluster_report(False, fairness)
+        assert [j.jct for j in optimized.jobs] == [j.jct for j in reference.jobs]
+        assert optimized.makespan == reference.makespan
+        assert optimized.preemption_count == reference.preemption_count
+        assert optimized.comm_active_seconds == reference.comm_active_seconds
+        opt_result = opt_sim.network.result()
+        ref_result = ref_sim.network.result()
+        assert opt_result.dim_bytes == ref_result.dim_bytes
+        assert opt_result.dim_transfer_seconds == ref_result.dim_transfer_seconds
+
+    def test_reweight_storm_keeps_heap_bounded(self):
+        """The legacy path's heap grows with every reweight; the optimized
+        path cancels superseded finish events, so its peak pending count
+        stays a small multiple of the in-flight work."""
+        _, opt_sim = _cluster_report(True, "ftf")
+        _, ref_sim = _cluster_report(False, "ftf")
+        assert opt_sim.engine.peak_pending < ref_sim.engine.peak_pending
+        assert opt_sim.engine.cancelled_events > 0
+
+
+class TestSharedEngineEquivalence:
+    def test_two_simulators_on_one_engine(self):
+        """The training/cluster layers share one engine across simulators;
+        the optimized path must interleave identically."""
+
+        def run(optimized: bool) -> tuple:
+            engine = EventQueue(cancellation=optimized)
+            sim = NetworkSimulator(
+                three_dim_topology(),
+                SchedulerFactory("themis", splitter=Splitter(4)),
+                policy="scf",
+                engine=engine,
+                indexed_queues=optimized,
+                plan_cache=optimized,
+            )
+            _submit_mixed_workload(sim)
+            return _timeline(sim)
+
+        assert run(True) == run(False)

@@ -113,6 +113,132 @@ class TestEventQueue:
         assert engine.pending == 0
 
 
+class TestPastTimeTolerance:
+    """The past-time guard must be relative: at large ``now`` an absolute
+    1e-15 epsilon is far below one ulp, so ordinary float round-off in
+    long steady-state cluster runs would be rejected as 'in the past'."""
+
+    def test_float_roundoff_at_large_time_is_accepted(self):
+        engine = EventQueue(start_time=1e7)
+        fired = []
+        # One ulp below now — representable, and exactly the kind of value
+        # `now + a - a` round-off produces.  The seed's absolute epsilon
+        # (1e-15) rejected this.
+        engine.schedule(1e7 - 2e-9, lambda: fired.append(True))
+        engine.run()
+        assert fired == [True]
+        assert engine.now == 1e7  # clamped: time never runs backwards
+
+    def test_genuinely_past_time_still_rejected(self):
+        engine = EventQueue(start_time=1e7)
+        with pytest.raises(SimulationError, match="before current time"):
+            engine.schedule(1e7 - 1.0, lambda: None)
+
+    def test_small_time_tolerance_unchanged(self):
+        engine = EventQueue()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1e-6, lambda: None)
+
+    def test_within_tolerance_clamps_not_reverses(self):
+        engine = EventQueue(start_time=5.0)
+        times = []
+        engine.schedule(5.0 - 1e-13, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [5.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = EventQueue()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"))
+        handle = engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        assert handle.cancel() is True
+        engine.run()
+        assert fired == ["a", "c"]
+        assert engine.cancelled_events == 1
+
+    def test_pending_excludes_cancelled(self):
+        engine = EventQueue()
+        handles = [engine.schedule(float(t), lambda: None) for t in range(1, 6)]
+        for handle in handles[:3]:
+            handle.cancel()
+        assert engine.pending == 2
+
+    def test_cancel_is_idempotent_and_false_after_fire(self):
+        engine = EventQueue()
+        handle = engine.schedule(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+        fired_handle = engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert fired_handle.fired
+        assert fired_handle.cancel() is False
+
+    def test_budget_ignores_cancelled_events(self):
+        """A budget-exact finish with cancelled stragglers is not an error."""
+        engine = EventQueue()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        for t in (3.0, 4.0, 5.0):
+            engine.schedule(t, lambda: None).cancel()
+        engine.run(max_events=2)
+        assert engine.pending == 0
+
+    def test_run_until_skips_cancelled_boundary_event(self):
+        engine = EventQueue()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1)).cancel()
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run_until(2.0)
+        assert fired == []
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [5]
+
+    def test_disabled_cancellation_is_noop(self):
+        engine = EventQueue(cancellation=False)
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(True))
+        assert handle.cancel() is False
+        engine.run()
+        assert fired == [True]
+
+
+class TestCompaction:
+    def test_heap_compacts_when_mostly_dead(self):
+        engine = EventQueue(compaction_min_dead=64)
+        handles = [
+            engine.schedule(float(t), lambda: None) for t in range(1, 201)
+        ]
+        for handle in handles[:150]:
+            handle.cancel()
+        # >=64 dead and dead/total >= 1/2: the sweep must have fired, so the
+        # physical heap is strictly smaller than the 200 events scheduled.
+        assert engine.compactions >= 1
+        assert engine.heap_size < 200
+        assert engine.pending == 50
+        engine.run()
+        assert engine.events_processed == 50
+
+    def test_no_compaction_below_min_dead(self):
+        engine = EventQueue(compaction_min_dead=64)
+        handles = [engine.schedule(float(t), lambda: None) for t in range(1, 11)]
+        for handle in handles:
+            handle.cancel()
+        assert engine.compactions == 0
+        assert engine.pending == 0
+
+    def test_peak_pending_tracks_live_events_only(self):
+        engine = EventQueue(compaction_min_dead=1000)
+        for t in range(1, 11):
+            engine.schedule(float(t), lambda: None)
+        assert engine.peak_pending == 10
+        engine.run()
+        assert engine.peak_pending == 10
+
+
 class TestIntervals:
     def test_merge_overlapping(self):
         merged = merge_intervals(
