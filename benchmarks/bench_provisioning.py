@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import (
-    ProvisioningScenario,
+    ProvisioningVerdict,
     classify_pair,
     format_table,
     max_drivable_utilization,
@@ -63,11 +63,11 @@ def test_provisioning_scenarios(benchmark, save_result):
 
     by_ratio = {r[0]: r for r in rows}
     # Under-provisioned (dim2 starved): even the fluid bound is capped.
-    assert by_ratio[0.02][1] is ProvisioningScenario.UNDER_PROVISIONED
+    assert by_ratio[0.02][1] is ProvisioningVerdict.UNDER_PROVISIONED
     assert by_ratio[0.02][2] < 0.9
     # Just enough: baseline alone is near-perfect (Themis's greedy reroute
     # granularity can cost a few points here; see EXPERIMENTS.md).
-    assert by_ratio[0.0625][1] is ProvisioningScenario.JUST_ENOUGH
+    assert by_ratio[0.0625][1] is ProvisioningVerdict.JUST_ENOUGH
     assert by_ratio[0.0625][3] > 0.9
     assert by_ratio[0.0625][4] > 0.8
     # Over-provisioned: baseline strands BW, Themis recovers most of it —
@@ -75,7 +75,7 @@ def test_provisioning_scenarios(benchmark, save_result):
     gains = {}
     for ratio in (0.25, 1.0):
         _, scenario, drivable, baseline, themis = by_ratio[ratio]
-        assert scenario is ProvisioningScenario.OVER_PROVISIONED
+        assert scenario is ProvisioningVerdict.OVER_PROVISIONED
         assert drivable == pytest.approx(1.0, abs=1e-6)
         assert themis > baseline + 0.05
         assert themis > 0.9

@@ -13,7 +13,10 @@ provides:
 * ``repro.cluster`` — multi-job cluster simulation (concurrent training
   jobs contending for one shared network),
 * ``repro.analysis`` — utilization metrics and BW-provisioning insights,
-* ``repro.experiments`` — harnesses regenerating every paper figure/table.
+* ``repro.experiments`` — harnesses regenerating every paper figure/table,
+* ``repro.api`` — the declarative scenario layer: serializable
+  ``ScenarioSpec``s, one ``run(spec)`` dispatcher, one ``RunReport`` type,
+  and a ``sweep`` grid runner on top of one unified component registry.
 
 Quickstart::
 
@@ -29,6 +32,7 @@ Quickstart::
     print(result.makespan, bw_utilization(result).average)
 """
 
+from . import api
 from .cluster import (
     ClusterConfig,
     ClusterReport,
@@ -92,6 +96,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # declarative scenario layer
+    "api",
     # collectives
     "CollectiveRequest",
     "CollectiveType",

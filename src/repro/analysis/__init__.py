@@ -4,6 +4,7 @@ from .provisioning import (
     PairAssessment,
     ProvisioningReport,
     ProvisioningScenario,
+    ProvisioningVerdict,
     assess,
     classify_pair,
     classify_topology,
@@ -21,6 +22,7 @@ from .tables import format_table, ms, pct, ratio, us
 
 __all__ = [
     "ProvisioningScenario",
+    "ProvisioningVerdict",
     "PairAssessment",
     "ProvisioningReport",
     "assess",

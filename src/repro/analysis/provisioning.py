@@ -27,12 +27,17 @@ from ..core.ideal import LpIdealEstimator, IdealEstimator
 from ..topology import Topology
 
 
-class ProvisioningScenario(enum.Enum):
-    """Sec. 6.3's three BW-distribution scenarios."""
+class ProvisioningVerdict(enum.Enum):
+    """Sec. 6.3's three BW-distribution scenarios (the per-pair verdict)."""
 
     JUST_ENOUGH = "JustEnough"
     OVER_PROVISIONED = "OverProvisioned"
     UNDER_PROVISIONED = "UnderProvisioned"
+
+
+#: Backwards-compatible alias — ``repro.api.ProvisioningScenario`` now names
+#: the declarative provisioning *spec*; this enum is the per-pair verdict.
+ProvisioningScenario = ProvisioningVerdict
 
 
 @dataclass(frozen=True)
@@ -47,7 +52,7 @@ class PairAssessment:
     dim_k: int
     dim_l: int
     ratio: float
-    scenario: ProvisioningScenario
+    scenario: ProvisioningVerdict
 
     def describe(self) -> str:
         return (
@@ -67,11 +72,11 @@ def classify_pair(
     bw_l = topology.dims[dim_l].bandwidth
     ratio = bw_k / (shrink * bw_l)
     if abs(ratio - 1.0) <= tolerance:
-        scenario = ProvisioningScenario.JUST_ENOUGH
+        scenario = ProvisioningVerdict.JUST_ENOUGH
     elif ratio < 1.0:
-        scenario = ProvisioningScenario.OVER_PROVISIONED
+        scenario = ProvisioningVerdict.OVER_PROVISIONED
     else:
-        scenario = ProvisioningScenario.UNDER_PROVISIONED
+        scenario = ProvisioningVerdict.UNDER_PROVISIONED
     return PairAssessment(dim_k=dim_k, dim_l=dim_l, ratio=ratio, scenario=scenario)
 
 
@@ -126,17 +131,25 @@ class ProvisioningReport:
         return "\n".join(lines)
 
 
-def assess(topology: Topology, tolerance: float = 0.01) -> ProvisioningReport:
-    """Full Sec. 6.3 assessment of one topology."""
+def assess(
+    topology: Topology,
+    tolerance: float = 0.01,
+    ctype: CollectiveType = CollectiveType.ALL_REDUCE,
+) -> ProvisioningReport:
+    """Full Sec. 6.3 assessment of one topology.
+
+    ``ctype`` selects the collective whose fluid bound anchors the
+    drivable-utilization number (All-Reduce, as in the paper, by default).
+    """
     assessments = tuple(classify_topology(topology, tolerance))
     baseline_efficient = all(
-        a.scenario is ProvisioningScenario.JUST_ENOUGH
+        a.scenario is ProvisioningVerdict.JUST_ENOUGH
         for a in assessments
         if a.dim_l == a.dim_k + 1
     )
     return ProvisioningReport(
         topology_name=topology.name,
         assessments=assessments,
-        max_utilization=max_drivable_utilization(topology),
+        max_utilization=max_drivable_utilization(topology, ctype),
         baseline_efficient=baseline_efficient,
     )

@@ -1,0 +1,648 @@
+"""Declarative scenario specs: one serializable description per run mode.
+
+A :class:`ScenarioSpec` names everything a simulation run needs by
+**registry key** (topology preset, workload, scheduler, intra-dimension
+policy, fairness policy — see ``repro.api.registry``) plus plain scalars,
+so a complete experiment configuration is a small JSON document:
+
+* lossless round trip — ``from_dict(to_dict(spec)) == spec`` for every
+  scenario type, through JSON included;
+* versioned schema — every serialized spec carries ``"schema"``; newer
+  documents are rejected with a clear upgrade message;
+* strict validation — unknown keys raise :class:`SpecError` with a
+  did-you-mean hint, registry keys are checked at construction time;
+* dotted overrides — ``spec.with_overrides({"trace.seed": "3"})`` rebuilds
+  a spec with nested fields replaced (the CLI's ``--set``, and the axis
+  mechanism of :func:`repro.api.sweep`).
+
+Custom components stay expressible: a topology may be an inline dict (the
+``repro.topology.serialization`` schema) instead of a preset name, and a
+workload an inline dict (``repro.workloads.serialization``) instead of a
+registry key — both serialize with the spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar
+
+from ..collectives.types import CollectiveType
+from ..errors import CollectiveError, SpecError
+from ..topology import Topology, topology_from_dict, topology_to_dict
+from ..units import GB, parse_size
+from ..workloads import Workload, get_workload, workload_from_dict
+from .registry import did_you_mean, validate_key
+
+#: Version stamped into every serialized spec.  Bump when a field changes
+#: meaning; loaders reject documents newer than what they understand.
+SCHEMA_VERSION = 1
+
+
+# --- shared helpers ---------------------------------------------------------
+def _check_schema(data: dict, where: str) -> None:
+    version = data.get("schema", SCHEMA_VERSION)
+    if not isinstance(version, int) or version < 1:
+        raise SpecError(f"{where}: bad schema version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise SpecError(
+            f"{where}: schema version {version} is newer than the supported "
+            f"{SCHEMA_VERSION}; upgrade the library to load this spec"
+        )
+
+
+def _known_fields(cls: type) -> tuple[str, ...]:
+    return tuple(f.name for f in dataclasses.fields(cls))
+
+
+def _reject_unknown(cls: type, data: dict, where: str) -> dict:
+    """Drop envelope keys, reject unknown ones with a did-you-mean hint."""
+    payload = dict(data)
+    payload.pop("schema", None)
+    payload.pop("mode", None)
+    known = _known_fields(cls)
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        hints = "".join(
+            f"\n  {key!r}{did_you_mean(key, known)}" for key in unknown
+        )
+        raise SpecError(
+            f"{where}: unknown key(s):{hints}\n  known: {', '.join(known)}"
+        )
+    return payload
+
+
+def _size_bytes(value: Any, field_name: str) -> float:
+    """Byte counts may be written as numbers or strings like ``"100MB"``."""
+    if isinstance(value, str):
+        value = parse_size(value)
+    size = float(value)
+    if size <= 0:
+        raise SpecError(f"{field_name} must be positive, got {size}")
+    return size
+
+
+def _validate_collective(key: str) -> str:
+    """Collective keys go through ``CollectiveType.from_name`` so the short
+    aliases (``ar``/``rs``/``ag``/``a2a``) stay valid in specs and CLIs."""
+    try:
+        CollectiveType.from_name(key)
+    except CollectiveError:
+        from .registry import COLLECTIVE_KEYS
+
+        raise SpecError(
+            f"unknown collective key {key!r}"
+            f"{did_you_mean(key, COLLECTIVE_KEYS)}; "
+            f"known: {', '.join(COLLECTIVE_KEYS)} (or ar/rs/ag/a2a)"
+        ) from None
+    return key
+
+
+def _validate_topology(value: Any) -> Any:
+    """A topology is a preset key or an inline serialized dict."""
+    if isinstance(value, Topology):  # convenience: accept live objects
+        return topology_to_dict(value)
+    if isinstance(value, dict):
+        topology_from_dict(value)  # validation only
+        return dict(value)
+    validate_key("topology", str(value))
+    return str(value)
+
+
+def _validate_workload(value: Any, args: dict) -> Any:
+    """A workload is a registry key (+ args) or an inline serialized dict."""
+    if isinstance(value, Workload):  # convenience: accept live objects
+        from ..workloads import workload_to_dict
+
+        value = workload_to_dict(value)
+    if isinstance(value, dict):
+        if args:
+            raise SpecError("workload_args only apply to registry-key workloads")
+        workload_from_dict(value)  # validation only
+        return dict(value)
+    validate_key("workload", str(value))
+    return str(value)
+
+
+def resolve_topology(value: "str | dict") -> Topology:
+    """Build the :class:`Topology` a spec's topology field names."""
+    if isinstance(value, dict):
+        return topology_from_dict(value)
+    from .registry import resolve
+
+    return resolve("topology", value)
+
+
+def resolve_workload(value: "str | dict", args: dict | None = None) -> Workload:
+    """Build the :class:`Workload` a spec's workload field names."""
+    if isinstance(value, dict):
+        return workload_from_dict(value)
+    return get_workload(value, **(args or {}))
+
+
+def parse_cli_value(text: str) -> Any:
+    """``--set``/axis values: JSON when it parses, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, TypeError):
+        return text
+
+
+def _set_dotted(data: Any, path: str, value: Any) -> None:
+    """Set ``a.b.0.c``-style paths inside nested dict/list structures."""
+    parts = path.split(".")
+    target = data
+    for depth, part in enumerate(parts[:-1]):
+        if isinstance(target, list):
+            try:
+                target = target[int(part)]
+            except (ValueError, IndexError):
+                raise SpecError(
+                    f"override path {path!r}: {part!r} is not a valid index "
+                    f"into a list of {len(target)}"
+                ) from None
+        elif isinstance(target, dict):
+            if part not in target:
+                raise SpecError(
+                    f"override path {path!r}: unknown key {part!r}"
+                    f"{did_you_mean(part, tuple(target))}"
+                )
+            target = target[part]
+        else:
+            prefix = ".".join(parts[:depth])
+            raise SpecError(
+                f"override path {path!r}: {prefix!r} is a scalar, cannot "
+                f"descend into it"
+            )
+    last = parts[-1]
+    if isinstance(target, list):
+        try:
+            target[int(last)] = value
+        except (ValueError, IndexError):
+            raise SpecError(
+                f"override path {path!r}: {last!r} is not a valid index "
+                f"into a list of {len(target)}"
+            ) from None
+    elif isinstance(target, dict):
+        target[last] = value
+    else:
+        raise SpecError(f"override path {path!r} does not land in a container")
+
+
+# --- base class -------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Common (de)serialization surface of every scenario type."""
+
+    #: Dispatch key stored in serialized documents.
+    mode: ClassVar[str] = "abstract"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form: ``{"schema": ..., "mode": ..., <fields>}``."""
+        data: dict = {"schema": SCHEMA_VERSION, "mode": self.mode}
+        for f in dataclasses.fields(self):
+            data[f.name] = _plain(getattr(self, f.name))
+        return data
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"{cls.__name__}: spec must be a dict, got {type(data)}")
+        _check_schema(data, cls.__name__)
+        declared = data.get("mode", cls.mode)
+        if declared != cls.mode:
+            raise SpecError(
+                f"{cls.__name__} cannot load a {declared!r} spec "
+                f"(expected mode {cls.mode!r})"
+            )
+        payload = _reject_unknown(cls, data, cls.__name__)
+        return cls(**cls._convert(payload))
+
+    @classmethod
+    def _convert(cls, payload: dict) -> dict:
+        """Hook: coerce JSON-plain values back into field types."""
+        return payload
+
+    def with_overrides(self, overrides: dict[str, Any]) -> "ScenarioSpec":
+        """Copy with dotted-path overrides applied and re-validated.
+
+        String values are parsed as JSON when possible (``"3"`` -> 3,
+        ``"null"`` -> None) and kept as strings otherwise, which is exactly
+        the CLI ``--set dotted.key=value`` behavior.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            if isinstance(value, str):
+                value = parse_cli_value(value)
+            _set_dotted(data, path, _plain(value))
+        return type(self).from_dict(data)
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert spec values to JSON-plain python."""
+    if isinstance(value, ScenarioSpec) or dataclasses.is_dataclass(value):
+        inner = {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return inner
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    return value
+
+
+# --- nested cluster pieces --------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One cluster job, serializable (mirrors :class:`repro.cluster.JobSpec`).
+
+    ``workload`` is a registry key (optionally parameterized via
+    ``workload_args``) or an inline workload dict.
+    """
+
+    name: str
+    workload: "str | dict" = "resnet-152"
+    workload_args: dict = field(default_factory=dict)
+    arrival_time: float = 0.0
+    scheduler: str = "themis"
+    iterations: int = 1
+    dim_indices: "tuple[int, ...] | None" = None
+    priority: int = 0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("job name must be non-empty")
+        object.__setattr__(self, "workload_args", dict(self.workload_args))
+        object.__setattr__(
+            self, "workload", _validate_workload(self.workload, self.workload_args)
+        )
+        validate_key("scheduler", self.scheduler)
+        if self.iterations < 1:
+            raise SpecError(
+                f"job {self.name!r}: need >= 1 iterations, got {self.iterations}"
+            )
+        if self.weight <= 0:
+            raise SpecError(
+                f"job {self.name!r}: weight must be positive, got {self.weight}"
+            )
+        if self.arrival_time < 0:
+            raise SpecError(
+                f"job {self.name!r}: arrival time must be >= 0, "
+                f"got {self.arrival_time}"
+            )
+        if self.dim_indices is not None:
+            object.__setattr__(
+                self, "dim_indices", tuple(int(i) for i in self.dim_indices)
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioJob":
+        payload = _reject_unknown(cls, data, "ScenarioJob")
+        return cls(**payload)
+
+    @classmethod
+    def from_jobspec(cls, spec: Any) -> "ScenarioJob":
+        """Serializable form of a live :class:`~repro.cluster.JobSpec`.
+
+        Registry-keyed workloads stay keys; workload *instances* are
+        inlined losslessly via ``workload_to_dict``.
+        """
+        workload = spec.workload
+        if not isinstance(workload, str):
+            from ..workloads import workload_to_dict
+
+            workload = workload_to_dict(workload)
+        return cls(
+            name=spec.name,
+            workload=workload,
+            arrival_time=spec.arrival_time,
+            scheduler=spec.scheduler,
+            iterations=spec.iterations,
+            dim_indices=spec.dim_indices,
+            priority=spec.priority,
+            weight=spec.weight,
+        )
+
+    def to_jobspec(self) -> "Any":
+        """The runnable :class:`~repro.cluster.JobSpec` this entry names."""
+        from ..cluster import JobSpec
+
+        workload: "str | Workload" = (
+            resolve_workload(self.workload, self.workload_args)
+            if self.workload_args or isinstance(self.workload, dict)
+            else self.workload
+        )
+        return JobSpec(
+            name=self.name,
+            workload=workload,
+            arrival_time=self.arrival_time,
+            scheduler=self.scheduler,
+            iterations=self.iterations,
+            dim_indices=self.dim_indices,
+            priority=self.priority,
+            weight=self.weight,
+        )
+
+
+@dataclass(frozen=True)
+class PoissonTrace:
+    """A generated Poisson arrival trace (see :func:`repro.cluster.poisson_trace`).
+
+    ``interarrival`` is the mean gap in **seconds**; ``schedulers`` is
+    cycled across jobs; the trace is fully determined by ``seed``.
+    """
+
+    workloads: tuple[str, ...] = ("dlrm", "resnet-152", "gnmt")
+    interarrival: float = 2e-3
+    seed: int = 0
+    schedulers: tuple[str, ...] = ("themis",)
+    iterations: int = 1
+    start_time: float = 0.0
+    jobs: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "workloads", tuple(str(w) for w in self.workloads)
+        )
+        object.__setattr__(
+            self, "schedulers", tuple(str(s) for s in self.schedulers)
+        )
+        if not self.workloads:
+            raise SpecError("a trace needs at least one workload")
+        for name in self.workloads:
+            validate_key("workload", name)
+        if not self.schedulers:
+            raise SpecError("a trace needs at least one scheduler")
+        for name in self.schedulers:
+            validate_key("scheduler", name)
+        if self.interarrival <= 0:
+            raise SpecError(
+                f"mean interarrival must be positive, got {self.interarrival}"
+            )
+        if self.iterations < 1:
+            raise SpecError(f"need >= 1 iterations, got {self.iterations}")
+        if self.jobs is not None and self.jobs < 1:
+            raise SpecError(f"need >= 1 jobs, got {self.jobs}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PoissonTrace":
+        payload = _reject_unknown(cls, data, "PoissonTrace")
+        return cls(**payload)
+
+    def to_jobs(self) -> list:
+        """Draw the deterministic job list this trace describes.
+
+        ``jobs`` (when set) rotates ``workloads`` up to that count;
+        otherwise one job per workload entry.
+        """
+        from ..cluster import poisson_trace
+
+        names = list(self.workloads)
+        if self.jobs is not None:
+            names = [names[i % len(names)] for i in range(self.jobs)]
+        return poisson_trace(
+            names,
+            self.interarrival,
+            seed=self.seed,
+            schedulers=self.schedulers,
+            iterations=self.iterations,
+            start_time=self.start_time,
+        )
+
+
+# --- the four scenario types ------------------------------------------------
+@dataclass(frozen=True)
+class CollectiveScenario(ScenarioSpec):
+    """One collective on one topology under one scheduler configuration."""
+
+    mode: ClassVar[str] = "collective"
+
+    topology: "str | dict" = "3D-SW_SW_SW_homo"
+    collective: str = "allreduce"
+    size: float = GB
+    chunks: int = 64
+    scheduler: str = "themis"
+    policy: str = "SCF"
+    max_events: "int | None" = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topology", _validate_topology(self.topology))
+        object.__setattr__(self, "size", _size_bytes(self.size, "size"))
+        _validate_collective(self.collective)
+        validate_key("scheduler", self.scheduler)
+        validate_key("policy", self.policy)
+        if self.chunks < 1:
+            raise SpecError(f"chunks must be >= 1, got {self.chunks}")
+        if self.max_events is not None and self.max_events < 1:
+            raise SpecError(f"max_events must be >= 1, got {self.max_events}")
+
+
+@dataclass(frozen=True)
+class TrainingScenario(ScenarioSpec):
+    """Training iterations of one workload on one (private) platform."""
+
+    mode: ClassVar[str] = "training"
+
+    workload: "str | dict" = "resnet-152"
+    workload_args: dict = field(default_factory=dict)
+    topology: "str | dict" = "3D-SW_SW_SW_homo"
+    scheduler: str = "themis"
+    policy: str = "SCF"
+    ideal_network: bool = False
+    iterations: int = 1
+    overlap_dp: bool = True
+    dp_bucket_bytes: "float | None" = None
+    chunks: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload_args", dict(self.workload_args))
+        object.__setattr__(
+            self, "workload", _validate_workload(self.workload, self.workload_args)
+        )
+        object.__setattr__(self, "topology", _validate_topology(self.topology))
+        validate_key("scheduler", self.scheduler)
+        validate_key("policy", self.policy)
+        if self.dp_bucket_bytes is not None:
+            object.__setattr__(
+                self,
+                "dp_bucket_bytes",
+                _size_bytes(self.dp_bucket_bytes, "dp_bucket_bytes"),
+            )
+        if self.iterations < 1:
+            raise SpecError(f"need >= 1 iterations, got {self.iterations}")
+        if self.chunks < 1:
+            raise SpecError(f"chunks must be >= 1, got {self.chunks}")
+
+
+@dataclass(frozen=True)
+class ClusterScenario(ScenarioSpec):
+    """N training jobs contending on one shared network.
+
+    Exactly one of ``jobs`` (explicit) or ``trace`` (generated Poisson
+    arrivals) describes the job population.  ``fairness_weights`` /
+    ``fairness_weights_by_dim`` parameterize the ``"weighted"`` policy:
+    the former overrides a job's scalar weight, the latter gives a job a
+    *different* share per dimension (``{job: {dim index: weight}}``).
+    """
+
+    mode: ClassVar[str] = "cluster"
+
+    topology: "str | dict" = "3D-SW_SW_SW_homo"
+    jobs: tuple[ScenarioJob, ...] = ()
+    trace: "PoissonTrace | None" = None
+    fairness: "str | None" = None
+    fairness_weights: "dict[str, float] | None" = None
+    fairness_weights_by_dim: "dict[str, dict[int, float]] | None" = None
+    policy: str = "SCF"
+    chunks: int = 64
+    overlap_dp: bool = True
+    dp_bucket_bytes: "float | None" = None
+    isolated_baselines: bool = True
+    record_ops: bool = False
+    max_events: "int | None" = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topology", _validate_topology(self.topology))
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if bool(self.jobs) == (self.trace is not None):
+            raise SpecError(
+                "a cluster scenario needs exactly one of 'jobs' or 'trace'"
+            )
+        names = [job.name for job in self.jobs]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise SpecError(f"duplicate job names: {', '.join(duplicates)}")
+        if self.fairness is not None:
+            validate_key("fairness", self.fairness)
+        weighted = self.fairness == "weighted"
+        if self.fairness_weights is not None:
+            if not weighted:
+                raise SpecError(
+                    "fairness_weights requires fairness='weighted', "
+                    f"got {self.fairness!r}"
+                )
+            object.__setattr__(
+                self,
+                "fairness_weights",
+                {str(k): float(v) for k, v in self.fairness_weights.items()},
+            )
+        if self.fairness_weights_by_dim is not None:
+            if not weighted:
+                raise SpecError(
+                    "fairness_weights_by_dim requires fairness='weighted', "
+                    f"got {self.fairness!r}"
+                )
+            object.__setattr__(
+                self,
+                "fairness_weights_by_dim",
+                {
+                    str(owner): {int(d): float(w) for d, w in dims.items()}
+                    for owner, dims in self.fairness_weights_by_dim.items()
+                },
+            )
+        validate_key("policy", self.policy)
+        if self.dp_bucket_bytes is not None:
+            object.__setattr__(
+                self,
+                "dp_bucket_bytes",
+                _size_bytes(self.dp_bucket_bytes, "dp_bucket_bytes"),
+            )
+        if self.chunks < 1:
+            raise SpecError(f"chunks must be >= 1, got {self.chunks}")
+        if self.max_events is not None and self.max_events < 1:
+            raise SpecError(f"max_events must be >= 1, got {self.max_events}")
+
+    @classmethod
+    def _convert(cls, payload: dict) -> dict:
+        jobs = payload.get("jobs") or ()
+        payload["jobs"] = tuple(
+            job if isinstance(job, ScenarioJob) else ScenarioJob.from_dict(job)
+            for job in jobs
+        )
+        trace = payload.get("trace")
+        if trace is not None and not isinstance(trace, PoissonTrace):
+            payload["trace"] = PoissonTrace.from_dict(trace)
+        return payload
+
+    def to_jobs(self) -> list:
+        """The runnable :class:`~repro.cluster.JobSpec` list."""
+        if self.trace is not None:
+            return self.trace.to_jobs()
+        return [job.to_jobspec() for job in self.jobs]
+
+
+@dataclass(frozen=True)
+class ProvisioningScenario(ScenarioSpec):
+    """Sec. 6.3 BW-distribution assessment of one topology (analytic)."""
+
+    mode: ClassVar[str] = "provisioning"
+
+    topology: "str | dict" = "3D-SW_SW_SW_homo"
+    tolerance: float = 0.01
+    collective: str = "allreduce"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topology", _validate_topology(self.topology))
+        _validate_collective(self.collective)
+        if not 0 <= self.tolerance < 1:
+            raise SpecError(
+                f"tolerance must be in [0, 1), got {self.tolerance}"
+            )
+
+
+#: Serialized ``mode`` -> scenario class.
+SCENARIO_TYPES: dict[str, type[ScenarioSpec]] = {
+    cls.mode: cls
+    for cls in (
+        CollectiveScenario,
+        TrainingScenario,
+        ClusterScenario,
+        ProvisioningScenario,
+    )
+}
+
+
+def spec_from_dict(data: dict) -> ScenarioSpec:
+    """Load any scenario spec, dispatching on its ``"mode"`` key."""
+    if not isinstance(data, dict):
+        raise SpecError(f"spec must be a dict, got {type(data)}")
+    _check_schema(data, "spec")
+    mode = data.get("mode")
+    if mode is None:
+        raise SpecError(
+            f"spec needs a 'mode' key; one of: {', '.join(SCENARIO_TYPES)}"
+        )
+    cls = SCENARIO_TYPES.get(mode)
+    if cls is None:
+        raise SpecError(
+            f"unknown scenario mode {mode!r}"
+            f"{did_you_mean(str(mode), tuple(SCENARIO_TYPES))}; "
+            f"known: {', '.join(SCENARIO_TYPES)}"
+        )
+    return cls.from_dict(data)
+
+
+def load_spec(path: "str | Path") -> ScenarioSpec:
+    """Load a scenario spec from a JSON file."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SpecError(f"invalid spec JSON in {path}: {error}") from error
+    return spec_from_dict(data)
+
+
+def save_spec(spec: ScenarioSpec, path: "str | Path") -> None:
+    """Write a scenario spec to a JSON file."""
+    spec.save(path)

@@ -2,19 +2,20 @@
 
 Subcommands
 -----------
+``run``
+    Run any scenario from a JSON spec file (``--spec``), with optional
+    dotted-path overrides (``--set trace.seed=3``), schema validation only
+    (``--check``), or JSON report output (``--json``).
+``sweep``
+    Run a grid of scenario variants from a base spec plus ``--axis``
+    flags (``--axis topology=2D-SW_SW,3D-SW_SW_SW_homo``; coupled fields
+    via ``--axis scheduler+policy=baseline:FIFO,themis:SCF``).
 ``topologies``
     List the Table 2 topology presets and their BW distributions.
-``collective``
-    Simulate one collective on one topology under each scheduler.
-``train``
-    Simulate training iterations of a paper workload.
-``cluster``
-    Simulate a multi-job cluster trace (Poisson arrivals, shared network)
-    under per-job Baseline vs Themis scheduling; with ``--fairness``, run
-    the skewed-trace cluster fairness comparison (FIFO vs weighted shares
-    vs finish-time fair vs priority preemption) instead.
-``provisioning``
-    Sec. 6.3 BW-distribution assessment of a topology.
+``collective`` / ``train`` / ``cluster`` / ``provisioning``
+    Thin builders over the same scenario specs: each flag set maps onto a
+    :mod:`repro.api` spec (printed with ``--show-spec``) and runs through
+    the same ``api.run`` dispatcher as ``run --spec``.
 ``fig``
     Regenerate a paper figure (4, 5, 8, 9, 10, 11, 12) or the headline
     numbers.
@@ -26,14 +27,11 @@ import argparse
 import sys
 from typing import Sequence
 
-from .analysis.provisioning import assess
-from .analysis.sweep import PAPER_SCHEDULERS, run_collective
+from . import api
 from .analysis.tables import format_table, ms, pct
-from .collectives.types import CollectiveType
 from .errors import ReproError
 from .topology import get_topology, preset_names
-from .training.iteration import TrainingConfig, simulate_training
-from .units import fmt_size, fmt_time, parse_size
+from .units import fmt_size, parse_size
 from .workloads import get_workload
 
 
@@ -49,6 +47,82 @@ _CLUSTER_TRACE_DEFAULTS = {
 }
 
 
+def _parse_set_flags(pairs: list[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(
+                f"--set expects dotted.key=value, got {pair!r}"
+            )
+        key, _, value = pair.partition("=")
+        overrides[key.strip()] = value
+    return overrides
+
+
+def _parse_axis_flags(pairs: list[str]) -> dict[str, list]:
+    """``--axis key=v1,v2`` / ``--axis a+b=x:y,z:w`` into sweep axes."""
+    axes: dict[str, list] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--axis expects key=v1,v2,..., got {pair!r}")
+        key, _, raw = pair.partition("=")
+        key = key.strip()
+        fields = [part.strip() for part in key.split("+")]
+        values: list = []
+        for chunk in raw.split(","):
+            if len(fields) > 1:
+                parts = chunk.split(":")
+                if len(parts) != len(fields):
+                    raise ReproError(
+                        f"--axis {key!r}: value {chunk!r} needs "
+                        f"{len(fields)} ':'-separated parts"
+                    )
+                values.append(tuple(api.parse_cli_value(p) for p in parts))
+            else:
+                values.append(api.parse_cli_value(chunk))
+        if not values:
+            raise ReproError(f"--axis {key!r} has no values")
+        axes[key] = values
+    return axes
+
+
+def _emit_report(report: api.RunReport, as_json: bool) -> None:
+    if as_json:
+        print(report.to_json())
+    else:
+        print(report.describe())
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = api.load_spec(args.spec)
+    if args.set:
+        spec = spec.with_overrides(_parse_set_flags(args.set))
+    if args.show_spec:
+        print(spec.to_json())
+        if not args.check:
+            print()
+    if args.check:
+        print(f"spec OK: {type(spec).__name__} from {args.spec}")
+        return 0
+    _emit_report(api.run(spec), args.json)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = api.load_spec(args.spec)
+    if args.set:
+        spec = spec.with_overrides(_parse_set_flags(args.set))
+    axes = _parse_axis_flags(args.axis)
+    if not axes:
+        raise ReproError("sweep needs at least one --axis")
+    result = api.sweep(spec, axes, processes=args.processes)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.render())
+    return 0
+
+
 def _cmd_topologies(_args: argparse.Namespace) -> int:
     for name in preset_names():
         print(get_topology(name).describe())
@@ -56,24 +130,51 @@ def _cmd_topologies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _maybe_show_spec(args: argparse.Namespace, spec: api.ScenarioSpec) -> None:
+    if getattr(args, "show_spec", False):
+        print(spec.to_json())
+        print()
+
+
 def _cmd_collective(args: argparse.Namespace) -> int:
-    topology = get_topology(args.topology)
     size = parse_size(args.size)
-    ctype = CollectiveType.from_name(args.type)
+    base = api.CollectiveScenario(
+        topology=args.topology,
+        collective=args.type,
+        size=size,
+        chunks=args.chunks,
+    )
+    _maybe_show_spec(args, base)
+    grid = api.sweep(
+        base,
+        {
+            "scheduler+policy": [
+                ("baseline", "FIFO"), ("themis", "FIFO"), ("themis", "SCF")
+            ]
+        },
+    )
+    first = grid.points[0].report
     print(
-        f"{ctype.value} of {fmt_size(size)} on {topology.name} "
-        f"({args.chunks} chunks):"
+        f"{first.payload['collective']} of {fmt_size(size)} on "
+        f"{first.payload['topology']} ({args.chunks} chunks):"
     )
     rows = []
     baseline_time = None
-    for config in PAPER_SCHEDULERS:
-        record, _ = run_collective(
-            topology, config, size, ctype=ctype, chunks=args.chunks
+    for point in grid:
+        payload = point.report.payload
+        if payload["scheduler_label"] == "Baseline":
+            baseline_time = payload["comm_time"]
+        speedup = (
+            baseline_time / payload["comm_time"] if baseline_time else 1.0
         )
-        if config.label == "Baseline":
-            baseline_time = record.comm_time
-        speedup = baseline_time / record.comm_time if baseline_time else 1.0
-        rows.append((config.label, record.comm_time, record.utilization, speedup))
+        rows.append(
+            (
+                payload["scheduler_label"],
+                payload["comm_time"],
+                point.report.avg_utilization or 0.0,
+                speedup,
+            )
+        )
     print(
         format_table(
             ["scheduler", "comm time", "avg BW util", "speedup"],
@@ -85,27 +186,31 @@ def _cmd_collective(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    workload = get_workload(args.workload)
-    topology = get_topology(args.topology)
-    config = TrainingConfig(
+    base = api.TrainingScenario(
+        workload=args.workload,
+        topology=args.topology,
         iterations=args.iterations,
         overlap_dp=not args.sync_dp,
         dp_bucket_bytes=parse_size(args.bucket) if args.bucket else None,
     )
-    print(workload.describe(topology))
+    _maybe_show_spec(args, base)
+    workload = get_workload(args.workload)
+    print(workload.describe(get_topology(args.topology)))
     print()
-    for scheduler, ideal in (("baseline", False), ("themis", False), ("themis", True)):
-        report = simulate_training(
-            workload, topology, scheduler=scheduler, config=config,
-            ideal_network=ideal,
-        )
-        print(report.describe())
+    grid = api.sweep(
+        base,
+        {
+            "scheduler+ideal_network": [
+                ("baseline", False), ("themis", False), ("themis", True)
+            ]
+        },
+    )
+    for point in grid:
+        print(point.report.detail.describe())
     return 0
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from .experiments.cluster_contention import run_cluster_contention
-
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 1
@@ -122,7 +227,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
         return 1
     if args.fairness:
-        from .experiments.fairness import FAIRNESS_VARIANTS, run_fairness_comparison
+        from .experiments.fairness import (
+            FAIRNESS_VARIANTS,
+            fairness_sweep,
+            run_fairness_comparison,
+        )
 
         ignored = [
             f"--{dest.replace('_', '-')}"
@@ -142,14 +251,36 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         else:
             # Always include the FIFO baseline so the comparison is visible.
             policies = ("fifo", args.fairness)
+        if args.show_spec:
+            base, _axes = fairness_sweep(
+                topology_name=args.topology, policies=policies
+            )
+            print(base.to_json())
+            print()
         result = run_fairness_comparison(
             topology_name=args.topology, policies=policies
         )
         print(result.render())
         return 0
+    from .experiments.cluster_contention import (
+        contention_sweep,
+        run_cluster_contention,
+    )
+
     workloads = tuple(
         name.strip() for name in args.workloads.split(",") if name.strip()
     )
+    if args.show_spec:
+        base, _axes = contention_sweep(
+            topology_name=args.topology,
+            n_jobs=args.jobs,
+            mean_interarrival=args.interarrival_ms * 1e-3,
+            seed=args.seed,
+            iterations=args.iterations,
+            workload_names=workloads or None,
+        )
+        print(base.to_json())
+        print()
     result = run_cluster_contention(
         topology_name=args.topology,
         n_jobs=args.jobs,
@@ -163,7 +294,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_provisioning(args: argparse.Namespace) -> int:
-    print(assess(get_topology(args.topology)).describe())
+    spec = api.ProvisioningScenario(topology=args.topology)
+    _maybe_show_spec(args, spec)
+    print(api.run(spec).detail.describe())
     return 0
 
 
@@ -196,6 +329,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run_cmd = sub.add_parser("run", help="run a scenario from a JSON spec")
+    run_cmd.add_argument("--spec", required=True, help="path to a spec JSON file")
+    run_cmd.add_argument("--set", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="dotted-path spec override (repeatable)")
+    run_cmd.add_argument("--check", action="store_true",
+                         help="validate the spec and exit without running")
+    run_cmd.add_argument("--show-spec", action="store_true",
+                         help="print the effective spec JSON before running")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="emit the RunReport as JSON")
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a grid of scenario variants from a base spec"
+    )
+    sweep_cmd.add_argument("--spec", required=True,
+                           help="path to the base spec JSON file")
+    sweep_cmd.add_argument("--set", action="append", default=[],
+                           metavar="KEY=VALUE",
+                           help="dotted-path base-spec override (repeatable)")
+    sweep_cmd.add_argument("--axis", action="append", default=[],
+                           metavar="KEY=V1,V2",
+                           help="sweep axis (repeatable); couple fields "
+                                "with 'a+b=x:y,z:w'")
+    sweep_cmd.add_argument("--processes", type=int, default=None,
+                           help="run grid points on a process pool")
+    sweep_cmd.add_argument("--json", action="store_true",
+                           help="emit the SweepResult as JSON")
+
     sub.add_parser("topologies", help="list Table 2 topology presets")
 
     collective = sub.add_parser("collective", help="simulate one collective")
@@ -203,6 +365,8 @@ def build_parser() -> argparse.ArgumentParser:
     collective.add_argument("--size", default="1GB")
     collective.add_argument("--type", default="allreduce")
     collective.add_argument("--chunks", type=int, default=64)
+    collective.add_argument("--show-spec", action="store_true",
+                            help="print the scenario spec this run maps to")
 
     train = sub.add_parser("train", help="simulate training iterations")
     train.add_argument("--workload", default="resnet-152")
@@ -212,6 +376,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DP gradient bucket size ('' for per-layer)")
     train.add_argument("--sync-dp", action="store_true",
                        help="expose all DP comm at end of backprop (paper mode)")
+    train.add_argument("--show-spec", action="store_true",
+                       help="print the scenario spec this run maps to")
 
     cluster = sub.add_parser(
         "cluster", help="simulate a multi-job cluster trace (shared network)"
@@ -233,17 +399,26 @@ def build_parser() -> argparse.ArgumentParser:
                          default=_CLUSTER_TRACE_DEFAULTS["workloads"],
                          help="comma-separated workload rotation "
                               "(default: dlrm,resnet-152,gnmt)")
+    from .cluster import fairness_names
+
+    # Choices come from the fairness registry, so policies added via
+    # ``register_fairness`` / ``api.register("fairness", ...)`` before the
+    # parser is built are selectable here too.
     cluster.add_argument("--fairness", default="",
-                         choices=["", "fifo", "weighted", "ftf", "preempt", "all"],
+                         choices=["", *fairness_names(), "all"],
                          help="run the skewed-trace fairness comparison under "
                               "this cluster fairness policy (plus the FIFO "
-                              "baseline; 'all' sweeps every policy) instead "
-                              "of the Poisson contention experiment")
+                              "baseline; 'all' sweeps every built-in policy) "
+                              "instead of the Poisson contention experiment")
+    cluster.add_argument("--show-spec", action="store_true",
+                         help="print the scenario spec this run maps to")
 
     provisioning = sub.add_parser(
         "provisioning", help="Sec. 6.3 BW-distribution assessment"
     )
     provisioning.add_argument("--topology", default="3D-SW_SW_SW_homo")
+    provisioning.add_argument("--show-spec", action="store_true",
+                              help="print the scenario spec this run maps to")
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("figure", help="4, 5, 8, 9, 10, 11, 12, or 'headline'")
@@ -253,6 +428,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "topologies": _cmd_topologies,
     "collective": _cmd_collective,
     "train": _cmd_train,
@@ -267,6 +444,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

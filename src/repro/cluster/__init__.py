@@ -16,6 +16,7 @@ from .fairness import (
     WeightedSharing,
     fairness_names,
     get_fairness,
+    register_fairness,
 )
 from .jobs import JOB_SCHEDULERS, JobSpec, poisson_trace
 from .metrics import ClusterReport, JobOutcome
@@ -38,4 +39,5 @@ __all__ = [
     "PriorityPreemption",
     "get_fairness",
     "fairness_names",
+    "register_fairness",
 ]

@@ -86,17 +86,38 @@ class WeightedSharing(FairnessPolicy):
     name = "weighted"
     label = "Weighted shares"
 
-    def __init__(self, weights: dict[str, float] | None = None) -> None:
+    def __init__(
+        self,
+        weights: dict[str, float] | None = None,
+        weights_by_dim: dict[str, dict[int, float]] | None = None,
+    ) -> None:
         self.weights = dict(weights or {})
+        self.weights_by_dim = {
+            owner: dict(dims) for owner, dims in (weights_by_dim or {}).items()
+        }
 
     def prepare(self, cluster: "ClusterSimulator") -> None:
-        mapping = {
+        names = {spec.name for spec in cluster.jobs}
+        for label, keys in (
+            ("weights", self.weights), ("per-dim weights", self.weights_by_dim)
+        ):
+            unknown = sorted(set(keys) - names)
+            if unknown:
+                raise ConfigError(
+                    f"{label} name unknown job(s) "
+                    f"{', '.join(repr(u) for u in unknown)}; "
+                    f"jobs: {', '.join(sorted(names))}"
+                )
+        mapping: dict[str, float | dict[int, float]] = {
             spec.name: self.weights.get(spec.name, spec.weight)
             for spec in cluster.jobs
         }
+        mapping.update(self.weights_by_dim)
         cluster.network.set_tenant_weights(mapping)
 
     def describe(self) -> str:
+        if self.weights_by_dim:
+            return f"{self.label} (static, per-dimension)"
         return f"{self.label} (static, from JobSpec.weight)"
 
 
@@ -278,6 +299,21 @@ _FAIRNESS: dict[str, type[FairnessPolicy]] = {
     "ftf": FinishTimeFairness,
     "preempt": PriorityPreemption,
 }
+
+
+def register_fairness(name: str, policy: type[FairnessPolicy]) -> None:
+    """Register a custom cluster fairness policy under ``name``.
+
+    The name becomes valid everywhere policies are selected by key:
+    ``ClusterConfig(fairness=name)``, ``ClusterScenario.fairness``, and the
+    CLI's ``--fairness`` choices (via the unified ``repro.api`` registry).
+    """
+    lowered = name.strip().lower()
+    if not lowered:
+        raise ConfigError("fairness policy name must be non-empty")
+    if lowered in _FAIRNESS:
+        raise ConfigError(f"fairness policy {name!r} is already registered")
+    _FAIRNESS[lowered] = policy
 
 
 def get_fairness(policy: "str | FairnessPolicy | None") -> FairnessPolicy | None:

@@ -35,7 +35,8 @@ class JobOutcome:
     workload_name: str
     scheduler_name: str
     arrival_time: float
-    finish_time: float
+    #: ``None`` when the run was truncated before this job completed.
+    finish_time: float | None
     iterations: list[IterationBreakdown] = field(default_factory=list)
     #: Time this job had at least one collective in flight on the network.
     comm_active_seconds: float = 0.0
@@ -44,16 +45,23 @@ class JobOutcome:
     isolated_time: float | None = None
 
     @property
-    def jct(self) -> float:
-        """Job completion time: finish minus arrival."""
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def jct(self) -> float | None:
+        """Job completion time: finish minus arrival (``None`` if unfinished)."""
+        if self.finish_time is None:
+            return None
         return self.finish_time - self.arrival_time
 
     @property
     def slowdown(self) -> float | None:
         """JCT relative to the isolated run (``None`` if not computed)."""
-        if self.isolated_time is None or self.isolated_time <= 0:
+        jct = self.jct
+        if jct is None or self.isolated_time is None or self.isolated_time <= 0:
             return None
-        return self.jct / self.isolated_time
+        return jct / self.isolated_time
 
     @property
     def rho(self) -> float | None:
@@ -90,6 +98,12 @@ class ClusterReport:
     #: Batch preemptions across all dimensions (non-zero only under the
     #: priority-preemption fairness policy).
     preemption_count: int = 0
+    #: True when the run hit its event budget before every job finished;
+    #: metrics then cover the *finished* jobs only and the makespan ends at
+    #: ``truncated_at``, so a partial run cannot masquerade as a complete one.
+    truncated: bool = False
+    #: Simulated time at which the event budget cut the run short.
+    truncated_at: float | None = None
 
     def job(self, name: str) -> JobOutcome:
         for outcome in self.jobs:
@@ -98,19 +112,33 @@ class ClusterReport:
         raise KeyError(f"no job named {name!r}")
 
     @property
+    def finished_jobs(self) -> list[JobOutcome]:
+        """Jobs that completed (all of them unless ``truncated``)."""
+        return [job for job in self.jobs if job.finished]
+
+    @property
+    def unfinished_jobs(self) -> list[JobOutcome]:
+        return [job for job in self.jobs if not job.finished]
+
+    @property
     def makespan(self) -> float:
-        """First arrival to last finish."""
+        """First arrival to last finish (to the cut, for truncated runs)."""
         start = min(job.arrival_time for job in self.jobs)
-        end = max(job.finish_time for job in self.jobs)
-        return end - start
+        ends = [job.finish_time for job in self.finished_jobs]
+        if self.truncated_at is not None:
+            ends.append(self.truncated_at)
+        return max(ends) - start
 
     @property
-    def mean_jct(self) -> float:
-        return sum(job.jct for job in self.jobs) / len(self.jobs)
+    def mean_jct(self) -> float | None:
+        """Mean JCT over finished jobs (``None`` if nothing finished)."""
+        values = [job.jct for job in self.finished_jobs]
+        return sum(values) / len(values) if values else None
 
     @property
-    def max_jct(self) -> float:
-        return max(job.jct for job in self.jobs)
+    def max_jct(self) -> float | None:
+        values = [job.jct for job in self.finished_jobs]
+        return max(values) if values else None
 
     def _slowdowns(self) -> list[float]:
         return [job.slowdown for job in self.jobs if job.slowdown is not None]
@@ -161,7 +189,7 @@ class ClusterReport:
                     job.workload_name,
                     job.scheduler_name,
                     job.arrival_time,
-                    job.jct,
+                    job.jct if job.jct is not None else float("nan"),
                     job.isolated_time if job.isolated_time is not None else float("nan"),
                     job.slowdown if job.slowdown is not None else float("nan"),
                 )
@@ -169,6 +197,11 @@ class ClusterReport:
         header = f"cluster on {self.topology_name}: {len(self.jobs)} job(s)"
         if self.fairness_name is not None:
             header += f", fairness: {self.fairness_name}"
+        if self.truncated:
+            header += (
+                f" [TRUNCATED at {fmt_time(self.truncated_at or 0.0)}: "
+                f"{len(self.unfinished_jobs)} job(s) still running]"
+            )
         lines = [
             header,
             format_table(
@@ -179,7 +212,8 @@ class ClusterReport:
                 indent="  ",
             ),
             f"  makespan {fmt_time(self.makespan)}, "
-            f"mean JCT {fmt_time(self.mean_jct)}, "
+            f"mean JCT "
+            f"{fmt_time(self.mean_jct) if self.mean_jct is not None else 'n/a'}, "
             f"comm-active {fmt_time(self.comm_active_seconds)}",
         ]
         if self.mean_rho is not None:

@@ -25,7 +25,7 @@ from typing import Iterator, Sequence
 
 from ..core.scheduler import SchedulerFactory
 from ..core.splitter import Splitter
-from ..errors import ConfigError, DeadlockError
+from ..errors import ConfigError, DeadlockError, EventBudgetError
 from ..sim.engine import EventQueue
 from ..sim.network import CollectiveResult, NetworkSimulator
 from ..sim.stats import bw_utilization
@@ -209,13 +209,26 @@ class ClusterSimulator:
         """Cached isolated JCT of ``spec`` (the rho / slowdown denominator).
 
         Jobs with identical configuration share one isolated run.  A
-        registry name always resolves to the same workload; distinct
-        Workload instances are only deduplicated by identity.  Priority,
-        weight, and arrival are irrelevant alone on the network, so they
-        are not part of the key.
+        registry name always resolves to the same workload; Workload
+        *instances* are keyed by content (name, batch, parallelism, layer
+        stack — everything the simulation reads), so reconstructed-but-
+        equal workloads (spec-driven sweeps rebuild them per point) still
+        share one baseline.  Priority, weight, and arrival are irrelevant
+        alone on the network, so they are not part of the key.
         """
+        workload = spec.workload
+        if isinstance(workload, str):
+            workload_key: tuple | str = workload
+        else:
+            workload_key = (
+                workload.name,
+                workload.batch_per_npu,
+                workload.mp_group_size,
+                workload.dp_style,
+                tuple(workload.layers),
+            )
         key = (
-            spec.workload if isinstance(spec.workload, str) else id(spec.workload),
+            workload_key,
             spec.scheduler.lower(),
             spec.iterations,
             spec.dim_indices,
@@ -225,16 +238,27 @@ class ClusterSimulator:
         return self._isolated_cache[key]
 
     def run(self, max_events: int | None = None) -> ClusterReport:
-        """Run all jobs to completion and collect per-job/cluster metrics."""
+        """Run all jobs to completion and collect per-job/cluster metrics.
+
+        When ``max_events`` cuts the simulation short, the returned report
+        is flagged ``truncated=True``: unfinished jobs carry
+        ``finish_time=None`` and the cluster metrics cover the finished
+        jobs only, instead of a complete-looking report built from a
+        half-run trace.
+        """
         if self.fairness is not None:
             self.fairness.prepare(self)
         for driver in self._drivers:
             driver.start()
-        self.engine.run(max_events=max_events)
+        truncated = False
+        try:
+            self.engine.run(max_events=max_events)
+        except EventBudgetError:
+            truncated = True
         unfinished = sorted(
             driver.spec.name for driver in self._drivers if not driver.finished
         )
-        if unfinished:
+        if unfinished and not truncated:
             raise DeadlockError(
                 f"{len(unfinished)} job(s) never completed: "
                 f"{', '.join(unfinished)}"
@@ -276,6 +300,8 @@ class ClusterSimulator:
                 self.fairness.describe() if self.fairness is not None else None
             ),
             preemption_count=self.network.preemption_count,
+            truncated=truncated,
+            truncated_at=self.engine.now if truncated else None,
         )
 
 

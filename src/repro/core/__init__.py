@@ -23,6 +23,7 @@ from .policies import (
     SmallestChunkFirstPolicy,
     get_policy,
     policy_names,
+    register_policy,
 )
 from .ready_queue import IndexedReadyQueue, ListReadyQueue, ReadyQueue
 from .scheduler import (
@@ -56,6 +57,7 @@ __all__ = [
     "LargestChunkFirstPolicy",
     "get_policy",
     "policy_names",
+    "register_policy",
     "ReadyQueue",
     "IndexedReadyQueue",
     "ListReadyQueue",

@@ -136,3 +136,17 @@ def get_policy(name: str) -> IntraDimPolicy:
 
 def policy_names() -> tuple[str, ...]:
     return tuple(sorted(_POLICIES))
+
+
+def register_policy(name: str, policy: type[IntraDimPolicy]) -> None:
+    """Register a custom intra-dimension policy under ``name``.
+
+    The (case-insensitive) name becomes valid wherever policies are chosen
+    by key: ``NetworkSimulator(policy=...)``, scenario specs, CLI flags.
+    """
+    lowered = name.strip().lower()
+    if not lowered:
+        raise ConfigError("policy name must be non-empty")
+    if lowered in _POLICIES:
+        raise ConfigError(f"intra-dimension policy {name!r} is already registered")
+    _POLICIES[lowered] = policy

@@ -28,8 +28,21 @@ class ScheduleError(ReproError):
     """A chunk schedule is invalid (not a permutation, wrong ops, ...)."""
 
 
+class SpecError(ConfigError):
+    """A declarative scenario spec is malformed (unknown keys, bad schema)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class EventBudgetError(SimulationError):
+    """``run(max_events=N)`` fired its budget with live events still pending.
+
+    Callers that want partial results instead of an error (the cluster
+    simulator's truncated reports, spec sweeps) catch this specifically;
+    everything else keeps treating it as the :class:`SimulationError` it is.
+    """
 
 
 class DeadlockError(SimulationError):

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import api
 from ..analysis.tables import format_table, ms, pct, ratio
-from ..cluster import ClusterConfig, ClusterReport, ClusterSimulator, poisson_trace
+from ..cluster import ClusterReport
 from ..errors import ConfigError
-from ..topology import get_topology
-from ..training.iteration import TrainingConfig
 from ..units import MB
 
 #: The two per-job scheduler variants compared.
@@ -109,23 +108,56 @@ def run_cluster_contention(
     """
     if n_jobs < 1:
         raise ConfigError(f"need at least 1 job, got n_jobs={n_jobs}")
-    topology = get_topology(topology_name)
-    workloads = workload_names or DEFAULT_WORKLOADS
-    iters = iterations if iterations is not None else (1 if quick else 2)
-    rotation = [workloads[i % len(workloads)] for i in range(n_jobs)]
-    config = ClusterConfig(
-        training=TrainingConfig(overlap_dp=False, dp_bucket_bytes=100 * MB)
+    base, axes = contention_sweep(
+        quick=quick,
+        topology_name=topology_name,
+        n_jobs=n_jobs,
+        mean_interarrival=mean_interarrival,
+        seed=seed,
+        iterations=iterations,
+        workload_names=workload_names,
     )
+    grid = api.sweep(base, axes)
     result = ClusterContentionResult(
-        topology_name=topology.name, n_jobs=n_jobs
+        topology_name=grid.points[0].report.payload["topology"], n_jobs=n_jobs
     )
     for variant in VARIANT_LABELS:
-        trace = poisson_trace(
-            rotation,
-            mean_interarrival,
-            seed=seed,
-            schedulers=(variant.lower(),),
-            iterations=iters,
-        )
-        result.reports[variant] = ClusterSimulator(topology, trace, config).run()
+        point = grid.find(**{"trace.schedulers": (variant.lower(),)})
+        result.reports[variant] = point.report.detail
     return result
+
+
+def contention_sweep(
+    quick: bool = True,
+    topology_name: str = "3D-SW_SW_SW_homo",
+    n_jobs: int = 4,
+    mean_interarrival: float = 2e-3,
+    seed: int = 1,
+    iterations: int | None = None,
+    workload_names: tuple[str, ...] | None = None,
+) -> "tuple[api.ClusterScenario, dict]":
+    """The declarative form of the experiment: base spec + sweep axes.
+
+    One :class:`~repro.api.ClusterScenario` with a generated Poisson trace;
+    the single axis flips every job's collective scheduler between Baseline
+    and Themis while the arrival trace (seeded) stays identical.
+    """
+    iters = iterations if iterations is not None else (1 if quick else 2)
+    base = api.ClusterScenario(
+        topology=topology_name,
+        trace=api.PoissonTrace(
+            workloads=tuple(workload_names or DEFAULT_WORKLOADS),
+            interarrival=mean_interarrival,
+            seed=seed,
+            iterations=iters,
+            jobs=n_jobs,
+        ),
+        overlap_dp=False,
+        dp_bucket_bytes=100 * MB,
+    )
+    axes = {
+        "trace.schedulers": [
+            (variant.lower(),) for variant in VARIANT_LABELS
+        ],
+    }
+    return base, axes

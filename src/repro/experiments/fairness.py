@@ -27,34 +27,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import api
 from ..analysis.tables import format_table, ms, ratio
-from ..cluster import ClusterConfig, ClusterReport, ClusterSimulator, JobSpec
+from ..cluster import ClusterReport, JobSpec
 from ..cluster.fairness import fairness_names
 from ..errors import ConfigError
-from ..topology import Topology, get_topology
+from ..topology import Topology
 from ..training.iteration import TrainingConfig
-from ..units import MB
-from ..workloads import Layer, Workload
+from ..workloads import flood
 
 #: Policies compared, in presentation order.
 FAIRNESS_VARIANTS: tuple[str, ...] = ("fifo", "weighted", "ftf", "preempt")
-
-
-def _flood_workload(layers: int, param_mb: float, name: str) -> Workload:
-    """Comm-dominated workload: ``layers`` small-tensor layers."""
-    return Workload(
-        name=name,
-        layers=[
-            Layer(
-                name=f"l{i}",
-                fwd_flops=1e8,
-                bwd_flops=2e8,
-                param_bytes=param_mb * MB,
-            )
-            for i in range(layers)
-        ],
-        batch_per_npu=1,
-    )
 
 
 def skewed_trace(scale: float = 1.0) -> list[JobSpec]:
@@ -70,20 +53,20 @@ def skewed_trace(scale: float = 1.0) -> list[JobSpec]:
     return [
         JobSpec(
             name="elephant",
-            workload=_flood_workload(16, 4 * scale, "elephant"),
+            workload=flood(16, 4 * scale, "elephant"),
             arrival_time=0.0,
             iterations=3,
         ),
         JobSpec(
             name="mouse",
-            workload=_flood_workload(1, 64 * scale, "mouse"),
+            workload=flood(1, 64 * scale, "mouse"),
             arrival_time=1e-4,
             iterations=1,
             weight=2.0,
         ),
         JobSpec(
             name="urgent",
-            workload=_flood_workload(1, 32 * scale, "urgent"),
+            workload=flood(1, 32 * scale, "urgent"),
             arrival_time=5e-4,
             iterations=1,
             priority=2,
@@ -153,6 +136,67 @@ class FairnessComparisonResult:
         return "\n".join(blocks)
 
 
+def _training_fields(training: TrainingConfig | None) -> dict:
+    """Map a :class:`TrainingConfig` onto ``ClusterScenario`` fields.
+
+    The scenario names exactly the knobs the cluster layer reads; a config
+    carrying anything it cannot express (custom compute model, fusion,
+    MP priority) is rejected rather than silently dropped.
+    """
+    if training is None:
+        return {}
+    default = TrainingConfig()
+    unsupported = [
+        name
+        for name in ("compute", "fusion", "mp_priority")
+        if getattr(training, name) != getattr(default, name)
+    ]
+    if unsupported:
+        raise ConfigError(
+            f"TrainingConfig fields not expressible in a ClusterScenario: "
+            f"{', '.join(unsupported)}"
+        )
+    return {
+        "policy": training.policy,
+        "chunks": training.chunks_per_collective,
+        "overlap_dp": training.overlap_dp,
+        "dp_bucket_bytes": training.dp_bucket_bytes,
+    }
+
+
+def fairness_sweep(
+    quick: bool = True,
+    topology_name: str = "3D-SW_SW_SW_homo",
+    policies: tuple[str, ...] | None = None,
+    topology: Topology | None = None,
+    jobs: list[JobSpec] | None = None,
+    training: TrainingConfig | None = None,
+) -> "tuple[api.ClusterScenario, dict]":
+    """The declarative form of the comparison: base spec + fairness axis.
+
+    The skewed trace serializes into the spec (flood workloads inline), so
+    the whole experiment — and any policy subset of it — is a JSON document
+    plus one swept field.
+    """
+    chosen = tuple(policies or FAIRNESS_VARIANTS)
+    unknown = [p for p in chosen if p not in fairness_names()]
+    if unknown:
+        raise ConfigError(
+            f"unknown fairness policies: {', '.join(unknown)}; "
+            f"known: {', '.join(fairness_names())}"
+        )
+    trace = list(jobs) if jobs is not None else skewed_trace(
+        scale=1.0 if quick else 4.0
+    )
+    base = api.ClusterScenario(
+        topology=topology if topology is not None else topology_name,
+        jobs=tuple(api.ScenarioJob.from_jobspec(spec) for spec in trace),
+        fairness=chosen[0],
+        **_training_fields(training),
+    )
+    return base, {"fairness": list(chosen)}
+
+
 def run_fairness_comparison(
     quick: bool = True,
     topology_name: str = "3D-SW_SW_SW_homo",
@@ -168,28 +212,18 @@ def run_fairness_comparison(
     :data:`FAIRNESS_VARIANTS`.  ``quick`` controls the trace's payload
     scale on the default platform.
     """
-    chosen = policies or FAIRNESS_VARIANTS
-    unknown = [p for p in chosen if p not in fairness_names()]
-    if unknown:
-        raise ConfigError(
-            f"unknown fairness policies: {', '.join(unknown)}; "
-            f"known: {', '.join(fairness_names())}"
-        )
-    platform = topology if topology is not None else get_topology(topology_name)
-    result = FairnessComparisonResult(topology_name=platform.name)
-    # One trace (same Workload objects) and one isolated-JCT cache for all
-    # policies: the solo baselines are policy-independent, so each is
-    # simulated once instead of once per policy.
-    trace = list(jobs) if jobs is not None else skewed_trace(
-        scale=1.0 if quick else 4.0
+    base, axes = fairness_sweep(
+        quick=quick,
+        topology_name=topology_name,
+        policies=policies,
+        topology=topology,
+        jobs=jobs,
+        training=training,
     )
-    isolated_cache: dict[tuple, float] = {}
-    for policy in chosen:
-        report = ClusterSimulator(
-            platform,
-            trace,
-            ClusterConfig(training=training, fairness=policy),
-            isolated_cache=isolated_cache,
-        ).run()
-        result.reports[policy] = report
+    grid = api.sweep(base, axes)
+    result = FairnessComparisonResult(
+        topology_name=grid.points[0].report.payload["topology"]
+    )
+    for point in grid:
+        result.reports[point.overrides["fairness"]] = point.report.detail
     return result

@@ -11,15 +11,19 @@ exposed communication takes ``ideal_comm / u`` where ``ideal_comm`` is the
 100%-utilization (invariant-bytes / total-BW) time of the iteration's
 collectives on their communicators.  Runtimes are normalized to the current
 topology's runtime at 10% utilization, exactly as the figure caption says.
+
+Declaratively, the figure is one grid: a base
+:class:`~repro.api.TrainingScenario` (baseline scheduler, paper DP
+accounting) swept over workload x topology x {ideal, simulated} network.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import api
 from ..analysis.tables import format_table, pct
-from ..topology import PAPER_TOPOLOGY_NAMES, get_topology
-from ..training.iteration import TrainingConfig, TrainingSimulator, simulate_training
+from ..topology import PAPER_TOPOLOGY_NAMES
 from ..units import MB
 from ..workloads import gnmt, resnet152, transformer_1t
 from ..workloads.base import Workload
@@ -120,31 +124,54 @@ def fig4_workloads(quick: bool = True) -> list[Workload]:
     return [resnet152(), gnmt(), transformer_1t(num_layers=transformer_layers)]
 
 
+def fig4_sweep(quick: bool = True) -> "tuple[api.TrainingScenario, dict]":
+    """The declarative form of Fig. 4: one base spec plus its sweep axes.
+
+    The workload axis couples registry key and factory args (the quick mode
+    shrinks the Transformer); the ``ideal_network`` axis yields the curve's
+    analytic anchor (True) and the measured baseline dot (False).
+    """
+    transformer_layers = 8 if quick else 128
+    base = api.TrainingScenario(
+        scheduler="baseline",
+        iterations=1,
+        overlap_dp=False,
+        dp_bucket_bytes=100 * MB,
+    )
+    axes = {
+        "workload+workload_args": [
+            ("resnet-152", {}),
+            ("gnmt", {}),
+            ("transformer-1t", {"num_layers": transformer_layers}),
+        ],
+        "topology": list(FIG4_TOPOLOGIES),
+        "ideal_network": [True, False],
+    }
+    return base, axes
+
+
 def run_fig4(quick: bool = True) -> Fig4Result:
     """Regenerate Fig. 4's curves and baseline dots."""
-    config = TrainingConfig(
-        iterations=1, overlap_dp=False, dp_bucket_bytes=100 * MB
-    )
+    base, axes = fig4_sweep(quick)
+    grid = api.sweep(base, axes)
     result = Fig4Result()
-    for workload in fig4_workloads(quick):
+    for key, _args in axes["workload+workload_args"]:
         for topo_name in FIG4_TOPOLOGIES:
-            topology = get_topology(topo_name)
             # Ideal run gives the compute floor and the 100%-util comm time.
-            ideal = simulate_training(
-                workload, topology, config=config, ideal_network=True
-            )
+            ideal = grid.find(
+                workload=key, topology=topo_name, ideal_network=True
+            ).report
             # Baseline run gives the measured dot.
-            baseline_sim = TrainingSimulator(
-                workload, topology, scheduler="baseline", config=config
-            )
-            baseline = baseline_sim.run()
-            breakdown = ideal.total
-            result.curves[(workload.name, topo_name)] = Fig4Curve(
-                workload=workload.name,
+            baseline = grid.find(
+                workload=key, topology=topo_name, ideal_network=False
+            ).report
+            workload_name = ideal.payload["workload"]
+            result.curves[(workload_name, topo_name)] = Fig4Curve(
+                workload=workload_name,
                 topology=topo_name,
-                compute_time=breakdown.compute,
-                ideal_comm_time=breakdown.exposed_comm,
-                baseline_utilization=baseline.avg_bw_utilization or 0.0,
-                baseline_runtime=baseline.total_time,
+                compute_time=ideal.payload["compute"],
+                ideal_comm_time=ideal.payload["exposed_comm"],
+                baseline_utilization=baseline.avg_utilization or 0.0,
+                baseline_runtime=baseline.makespan,
             )
     return result

@@ -4,16 +4,30 @@ For every Table 2 topology and collective size, compare the total
 communication time of Baseline, Themis+FIFO, and Themis+SCF.  The paper's
 headline from this figure: averaged over all topologies and sizes,
 Themis+FIFO is 1.58x and Themis+SCF 1.72x faster than the baseline.
+
+The whole experiment is one declarative grid — a base
+:class:`~repro.api.CollectiveScenario` swept over topology x size x
+(scheduler, policy) — so any slice of it can be re-run from a JSON spec
+via ``themis-sim run --spec`` / ``themis-sim sweep``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.sweep import PAPER_SCHEDULERS, MicrobenchRecord, geometric_mean, sweep
+from .. import api
+from ..analysis.sweep import MicrobenchRecord, geometric_mean
 from ..analysis.tables import format_table, ms, ratio
-from ..topology import paper_topologies
+from ..collectives.types import CollectiveType
+from ..topology import PAPER_TOPOLOGY_NAMES
 from ..units import GB, MB
+
+#: The paper's three simulated configurations as a coupled sweep axis.
+SCHEDULER_AXIS: tuple[tuple[str, str], ...] = (
+    ("baseline", "FIFO"),
+    ("themis", "FIFO"),
+    ("themis", "SCF"),
+)
 
 #: Paper's microbenchmark size range (Sec. 6.1): 100 MB to 1 GB.
 DEFAULT_SIZES: tuple[float, ...] = (100 * MB, 250 * MB, 500 * MB, GB)
@@ -75,8 +89,33 @@ class Fig8Result:
         return "Fig. 8: All-Reduce communication time\n" + table + summary
 
 
+def fig8_sweep(quick: bool = False, chunks: int = 64) -> "tuple[api.CollectiveScenario, dict]":
+    """The declarative form of Fig. 8: one base spec plus its sweep axes."""
+    sizes = list(QUICK_SIZES if quick else DEFAULT_SIZES)
+    base = api.CollectiveScenario(chunks=chunks)
+    axes = {
+        "topology": list(PAPER_TOPOLOGY_NAMES),
+        "size": sizes,
+        "scheduler+policy": list(SCHEDULER_AXIS),
+    }
+    return base, axes
+
+
 def run_fig8(quick: bool = False, chunks: int = 64) -> Fig8Result:
     """Regenerate Fig. 8 over the six Table 2 topologies."""
-    sizes = list(QUICK_SIZES if quick else DEFAULT_SIZES)
-    records = sweep(paper_topologies(), sizes, PAPER_SCHEDULERS, chunks=chunks)
+    base, axes = fig8_sweep(quick=quick, chunks=chunks)
+    result = api.sweep(base, axes)
+    records = [
+        MicrobenchRecord(
+            topology_name=point.report.payload["topology"],
+            scheduler=point.report.payload["scheduler_label"],
+            ctype=CollectiveType.from_name(point.report.payload["collective"]),
+            size=point.report.payload["size"],
+            chunks=point.report.payload["chunks"],
+            comm_time=point.report.payload["comm_time"],
+            utilization=point.report.avg_utilization or 0.0,
+            ideal_time=point.report.payload["ideal_time"],
+        )
+        for point in result
+    ]
     return Fig8Result(records=records)

@@ -32,7 +32,7 @@ import heapq
 import itertools
 from typing import Callable
 
-from ..errors import SimulationError
+from ..errors import EventBudgetError, SimulationError
 
 #: Relative past-time tolerance: ~5000 ulps at any magnitude, which absorbs
 #: accumulated float round-off in long event chains without masking real
@@ -204,7 +204,7 @@ class EventQueue:
             fired += 1
             if max_events is not None and fired >= max_events:
                 if self.pending:
-                    raise SimulationError(
+                    raise EventBudgetError(
                         f"event budget exhausted: {self.pending} event(s) "
                         f"still pending after {max_events} fired"
                     )

@@ -26,7 +26,7 @@ from ..core.ideal import IdealEstimator
 from ..core.latency_model import LatencyModel
 from ..core.policies import IntraDimPolicy, get_policy
 from ..core.scheduler import SchedulerFactory
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..topology import Topology
 from .engine import EventQueue
 from .executor import DimensionChannel, FusionConfig, OpState
@@ -258,19 +258,41 @@ class NetworkSimulator:
 
     # --- fairness (multi-tenant wire disciplines) ---------------------------
     def set_tenant_weights(
-        self, weights: dict[str, float], default: float = 1.0
+        self,
+        weights: dict[str, "float | dict[int, float]"],
+        default: float = 1.0,
     ) -> None:
         """Enable/update weighted per-tenant bandwidth sharing on every dim.
 
-        ``weights`` maps ``request.owner`` to a positive share; owners absent
-        from the map get ``default``.  Concurrent batches from different
+        ``weights`` maps ``request.owner`` to a positive share — either one
+        scalar applied on every dimension, or a ``{dim index: weight}`` map
+        giving that tenant a *different* share per dimension (a job can be
+        favored on the scarce NIC dimension while yielding intra-node).
+        Owners absent from the map, and dimensions absent from a tenant's
+        per-dim map, get ``default``.  Concurrent batches from different
         tenants then split each dimension's bandwidth in proportion to their
         weights (GPS-style fluid sharing) instead of serializing first-come.
         Safe to call repeatedly mid-run — the cluster finish-time-fairness
         policy re-tunes weights periodically.
         """
+        for owner, value in weights.items():
+            if isinstance(value, dict):
+                for dim_index in value:
+                    if not 0 <= dim_index < len(self.channels):
+                        raise ConfigError(
+                            f"tenant {owner!r}: dimension index {dim_index} "
+                            f"out of range for {len(self.channels)}D topology"
+                        )
         for channel in self.channels:
-            channel.set_share_weights(weights, default)
+            flat = {
+                owner: (
+                    value.get(channel.dim_index, default)
+                    if isinstance(value, dict)
+                    else value
+                )
+                for owner, value in weights.items()
+            }
+            channel.set_share_weights(flat, default)
 
     def enable_preemption(self) -> None:
         """Arm priority preemption on every dimension channel.

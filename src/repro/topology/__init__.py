@@ -7,6 +7,7 @@ from .presets import (
     get_topology,
     paper_topologies,
     preset_names,
+    register_preset,
     topo_2d_sw_sw,
     topo_3d_fc_ring_sw,
     topo_3d_sw_sw_sw_hetero,
@@ -40,6 +41,7 @@ __all__ = [
     "get_topology",
     "paper_topologies",
     "preset_names",
+    "register_preset",
     "topo_2d_sw_sw",
     "topo_3d_fc_ring_sw",
     "topo_3d_sw_sw_sw_hetero",

@@ -128,6 +128,19 @@ def preset_names() -> tuple[str, ...]:
     return tuple(_PRESETS)
 
 
+def register_preset(name: str, factory: Callable[[], Topology]) -> None:
+    """Register a custom topology preset under ``name``.
+
+    The name becomes valid wherever topologies are chosen by key:
+    :func:`get_topology`, scenario specs, and every CLI ``--topology`` flag.
+    """
+    if not name:
+        raise TopologyError("topology preset name must be non-empty")
+    if name in _PRESETS:
+        raise TopologyError(f"topology preset {name!r} is already registered")
+    _PRESETS[name] = factory
+
+
 def get_topology(name: str) -> Topology:
     """Instantiate a preset by its Table 2 name.
 

@@ -1,4 +1,6 @@
-"""DNN workload models (paper Sec. 5.2)."""
+"""DNN workload models (paper Sec. 5.2) and the workload registry."""
+
+from typing import Callable
 
 from .base import Workload
 from .compute import A100_MEMORY_BW, A100_PEAK_FLOPS, ComputeModel
@@ -13,29 +15,65 @@ from .parallelism import (
     split_leading_dims,
 )
 from .resnet import resnet152
+from .serialization import (
+    layer_from_dict,
+    layer_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from .synthetic import flood
 from .transformer import MP_GROUP_SIZE, transformer_1t
 
 #: The paper's four evaluation workloads (Sec. 5.2), in Fig. 12 order.
 PAPER_WORKLOADS = ("ResNet-152", "GNMT", "DLRM", "Transformer-1T")
 
+_FACTORIES: dict[str, Callable[..., Workload]] = {
+    "resnet-152": resnet152,
+    "resnet152": resnet152,
+    "gnmt": gnmt,
+    "dlrm": dlrm,
+    "transformer-1t": transformer_1t,
+    "transformer1t": transformer_1t,
+    "flood": flood,
+}
+
 
 def get_workload(name: str, **kwargs) -> Workload:
-    """Instantiate a paper workload by name (case-insensitive)."""
+    """Instantiate a registered workload by name (case-insensitive).
+
+    ``kwargs`` are forwarded to the factory (e.g.
+    ``get_workload("transformer-1t", num_layers=8)`` or
+    ``get_workload("flood", layers=1, param_mb=64)``).
+    """
     from ..errors import WorkloadError
 
-    factories = {
-        "resnet-152": resnet152,
-        "resnet152": resnet152,
-        "gnmt": gnmt,
-        "dlrm": dlrm,
-        "transformer-1t": transformer_1t,
-        "transformer1t": transformer_1t,
-    }
     key = name.strip().lower()
-    if key not in factories:
-        known = ", ".join(sorted(set(factories)))
+    if key not in _FACTORIES:
+        known = ", ".join(workload_names())
         raise WorkloadError(f"unknown workload {name!r}; known: {known}")
-    return factories[key](**kwargs)
+    return _FACTORIES[key](**kwargs)
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload keys (aliases included), sorted."""
+    return tuple(sorted(set(_FACTORIES)))
+
+
+def register_workload(name: str, factory: Callable[..., Workload]) -> None:
+    """Register a custom workload factory under a (case-insensitive) name.
+
+    The name becomes valid wherever workloads are chosen by key: cluster
+    :class:`~repro.cluster.JobSpec`, scenario specs, and CLI ``--workload``
+    flags.
+    """
+    from ..errors import WorkloadError
+
+    key = name.strip().lower()
+    if not key:
+        raise WorkloadError("workload name must be non-empty")
+    if key in _FACTORIES:
+        raise WorkloadError(f"workload {name!r} is already registered")
+    _FACTORIES[key] = factory
 
 
 __all__ = [
@@ -57,7 +95,14 @@ __all__ = [
     "gnmt",
     "dlrm",
     "transformer_1t",
+    "flood",
     "MP_GROUP_SIZE",
     "PAPER_WORKLOADS",
     "get_workload",
+    "workload_names",
+    "register_workload",
+    "layer_to_dict",
+    "layer_from_dict",
+    "workload_to_dict",
+    "workload_from_dict",
 ]

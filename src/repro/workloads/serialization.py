@@ -1,0 +1,126 @@
+"""Workload (de)serialization to plain dicts / JSON.
+
+Scenario specs (``repro.api``) reference workloads by registry key when
+possible, but custom workloads — hand-built layer stacks in tests, tenant
+shapes no factory produces — must survive a spec's JSON round trip too.
+These converters are lossless: ``workload_from_dict(workload_to_dict(w))``
+compares equal to ``w`` for any valid :class:`Workload`.
+"""
+
+from __future__ import annotations
+
+from ..collectives.types import CollectiveType
+from ..errors import WorkloadError
+from .base import Workload
+from .layers import CommAttachment, Layer
+
+_LAYER_KEYS = {
+    "name", "fwd_flops", "bwd_flops", "param_bytes", "fwd_mem_bytes",
+    "bwd_mem_bytes", "fwd_comm", "bwd_comm", "fwd_wait_label",
+    "bwd_wait_label",
+}
+_WORKLOAD_KEYS = {
+    "name", "layers", "batch_per_npu", "mp_group_size", "dp_style", "notes",
+}
+
+
+def _comm_to_dict(comm: CommAttachment) -> dict:
+    return {
+        "ctype": comm.ctype.value,
+        "size": comm.size,
+        "blocking": comm.blocking,
+        "label": comm.label,
+    }
+
+
+def _comm_from_dict(data: dict) -> CommAttachment:
+    if not isinstance(data, dict):
+        raise WorkloadError(f"comm attachment must be a dict, got {type(data)}")
+    return CommAttachment(
+        ctype=CollectiveType.from_name(str(data["ctype"])),
+        size=float(data["size"]),
+        blocking=bool(data.get("blocking", True)),
+        label=str(data.get("label", "")),
+    )
+
+
+def layer_to_dict(layer: Layer) -> dict:
+    """Serialize one layer; default-valued fields are omitted for brevity."""
+    data: dict = {
+        "name": layer.name,
+        "fwd_flops": layer.fwd_flops,
+        "bwd_flops": layer.bwd_flops,
+    }
+    if layer.param_bytes:
+        data["param_bytes"] = layer.param_bytes
+    if layer.fwd_mem_bytes:
+        data["fwd_mem_bytes"] = layer.fwd_mem_bytes
+    if layer.bwd_mem_bytes:
+        data["bwd_mem_bytes"] = layer.bwd_mem_bytes
+    if layer.fwd_comm is not None:
+        data["fwd_comm"] = _comm_to_dict(layer.fwd_comm)
+    if layer.bwd_comm is not None:
+        data["bwd_comm"] = _comm_to_dict(layer.bwd_comm)
+    if layer.fwd_wait_label:
+        data["fwd_wait_label"] = layer.fwd_wait_label
+    if layer.bwd_wait_label:
+        data["bwd_wait_label"] = layer.bwd_wait_label
+    return data
+
+
+def layer_from_dict(data: dict) -> Layer:
+    """Parse one layer; unknown keys are rejected to catch typos."""
+    if not isinstance(data, dict):
+        raise WorkloadError(f"layer entry must be a dict, got {type(data)}")
+    unknown = set(data) - _LAYER_KEYS
+    if unknown:
+        raise WorkloadError(f"unknown layer keys: {sorted(unknown)}")
+    return Layer(
+        name=str(data.get("name", "")),
+        fwd_flops=float(data.get("fwd_flops", 0.0)),
+        bwd_flops=float(data.get("bwd_flops", 0.0)),
+        param_bytes=float(data.get("param_bytes", 0.0)),
+        fwd_mem_bytes=float(data.get("fwd_mem_bytes", 0.0)),
+        bwd_mem_bytes=float(data.get("bwd_mem_bytes", 0.0)),
+        fwd_comm=_comm_from_dict(data["fwd_comm"]) if data.get("fwd_comm") else None,
+        bwd_comm=_comm_from_dict(data["bwd_comm"]) if data.get("bwd_comm") else None,
+        fwd_wait_label=str(data.get("fwd_wait_label", "")),
+        bwd_wait_label=str(data.get("bwd_wait_label", "")),
+    )
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """Serialize a workload losslessly (``notes`` included for humans)."""
+    data: dict = {
+        "name": workload.name,
+        "batch_per_npu": workload.batch_per_npu,
+        "layers": [layer_to_dict(layer) for layer in workload.layers],
+    }
+    if workload.mp_group_size is not None:
+        data["mp_group_size"] = workload.mp_group_size
+    if workload.dp_style != "allreduce":
+        data["dp_style"] = workload.dp_style
+    if workload.notes:
+        data["notes"] = workload.notes
+    return data
+
+
+def workload_from_dict(data: dict) -> Workload:
+    """Build a workload from a dict produced by :func:`workload_to_dict`."""
+    if not isinstance(data, dict):
+        raise WorkloadError(f"workload must be a dict, got {type(data)}")
+    unknown = set(data) - _WORKLOAD_KEYS
+    if unknown:
+        raise WorkloadError(f"unknown workload keys: {sorted(unknown)}")
+    layers_data = data.get("layers")
+    if not layers_data:
+        raise WorkloadError("workload dict needs a non-empty 'layers' list")
+    mp = data.get("mp_group_size")
+    return Workload(
+        name=str(data.get("name", "")),
+        layers=[layer_from_dict(entry) for entry in layers_data],
+        batch_per_npu=int(data.get("batch_per_npu", 1)),
+        mp_group_size=int(mp) if mp is not None else None,
+        dp_style=str(data.get("dp_style", "allreduce")),
+        notes=str(data.get("notes", "")),
+    )

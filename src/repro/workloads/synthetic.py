@@ -1,0 +1,52 @@
+"""Parametric synthetic workloads for cluster experiments and tests.
+
+Real paper workloads (``resnet``, ``gnmt``, ...) model concrete networks;
+cluster fairness and contention experiments additionally need *shaped*
+traffic — e.g. a tenant that floods a dimension with many small gradient
+collectives versus one that issues a single large one.  :func:`flood`
+builds such a workload from two knobs, and is registered under the
+``"flood"`` key so scenario specs can declare these tenants by name.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..units import MB
+from .base import Workload
+from .layers import Layer
+
+
+def flood(
+    layers: int = 16,
+    param_mb: float = 4.0,
+    name: str = "",
+    fwd_flops: float = 1e8,
+    bwd_flops: float = 2e8,
+) -> Workload:
+    """Comm-dominated workload: ``layers`` layers of ``param_mb`` MB each.
+
+    Many layers with small tensors decompose into a flood of small chunk
+    ops (the SCF intra-dimension policy always favors them); a single
+    large-tensor layer produces big chunk ops that perpetually lose under
+    first-come sharing — the elephant/mouse pair of the fairness
+    experiments is just two calls to this factory.
+    """
+    if layers < 1:
+        raise WorkloadError(f"flood workload needs >= 1 layers, got {layers}")
+    if param_mb <= 0:
+        raise WorkloadError(
+            f"flood workload needs positive param_mb, got {param_mb}"
+        )
+    return Workload(
+        name=name or f"flood-{layers}x{param_mb:g}MB",
+        layers=[
+            Layer(
+                name=f"l{i}",
+                fwd_flops=fwd_flops,
+                bwd_flops=bwd_flops,
+                param_bytes=param_mb * MB,
+            )
+            for i in range(layers)
+        ],
+        batch_per_npu=1,
+    )

@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis import (
     PAPER_SCHEDULERS,
-    ProvisioningScenario,
+    ProvisioningVerdict,
     SchedulerConfig,
     assess,
     classify_pair,
@@ -38,22 +38,22 @@ def two_dim(bw1: float, bw2: float, p1: int = 4, p2: int = 4) -> Topology:
 class TestClassifyPair:
     def test_just_enough(self):
         verdict = classify_pair(two_dim(400.0, 100.0), 0, 1)
-        assert verdict.scenario is ProvisioningScenario.JUST_ENOUGH
+        assert verdict.scenario is ProvisioningVerdict.JUST_ENOUGH
         assert verdict.ratio == pytest.approx(1.0)
 
     def test_over_provisioned(self):
         verdict = classify_pair(two_dim(400.0, 200.0), 0, 1)
-        assert verdict.scenario is ProvisioningScenario.OVER_PROVISIONED
+        assert verdict.scenario is ProvisioningVerdict.OVER_PROVISIONED
         assert verdict.ratio == pytest.approx(0.5)
 
     def test_under_provisioned(self):
         verdict = classify_pair(two_dim(400.0, 50.0), 0, 1)
-        assert verdict.scenario is ProvisioningScenario.UNDER_PROVISIONED
+        assert verdict.scenario is ProvisioningVerdict.UNDER_PROVISIONED
         assert verdict.ratio == pytest.approx(2.0)
 
     def test_tolerance_band(self):
         verdict = classify_pair(two_dim(400.0, 100.4), 0, 1, tolerance=0.01)
-        assert verdict.scenario is ProvisioningScenario.JUST_ENOUGH
+        assert verdict.scenario is ProvisioningVerdict.JUST_ENOUGH
 
     def test_invalid_indices(self):
         topo = two_dim(400.0, 100.0)
@@ -72,7 +72,7 @@ class TestClassifyPair:
         )
         verdict = classify_pair(topo, 0, 2)
         # shrink = 4 x 2 = 8; 800 / (8 x 100) = 1.0 -> just enough.
-        assert verdict.scenario is ProvisioningScenario.JUST_ENOUGH
+        assert verdict.scenario is ProvisioningVerdict.JUST_ENOUGH
 
 
 class TestClassifyTopology:
@@ -87,7 +87,7 @@ class TestClassifyTopology:
 
         for topo in paper_topologies():
             scenarios = {a.scenario for a in classify_topology(topo)}
-            assert ProvisioningScenario.OVER_PROVISIONED in scenarios, topo.name
+            assert ProvisioningVerdict.OVER_PROVISIONED in scenarios, topo.name
 
 
 class TestMaxDrivableUtilization:

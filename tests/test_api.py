@@ -1,0 +1,668 @@
+"""Declarative Scenario API: registry, spec round trips, runner, sweeps."""
+
+from __future__ import annotations
+
+import glob
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.analysis.sweep import SchedulerConfig, run_collective
+from repro.cluster import WeightedSharing
+from repro.errors import ConfigError, SpecError, WorkloadError
+from repro.sim import NetworkSimulator
+from repro.topology import Topology, dimension, get_topology, topology_to_dict
+from repro.training.iteration import TrainingConfig, simulate_training
+from repro.units import MB
+from repro.workloads import (
+    Workload,
+    flood,
+    get_workload,
+    workload_from_dict,
+    workload_names,
+    workload_to_dict,
+)
+
+
+def tiny_topology() -> Topology:
+    return Topology(
+        [
+            dimension("sw", 4, 400.0, latency_ns=100),
+            dimension("sw", 4, 200.0, latency_ns=500),
+        ],
+        name="tiny-4x4",
+    )
+
+
+TINY = topology_to_dict(tiny_topology())
+
+
+# --- unified registry -------------------------------------------------------
+class TestRegistry:
+    def test_kinds(self):
+        assert set(api.registry_kinds()) == {
+            "topology", "workload", "collective", "scheduler", "policy",
+            "fairness", "algorithm",
+        }
+
+    def test_keys_delegate_to_domain_registries(self):
+        assert "3D-SW_SW_SW_homo" in api.registry_keys("topology")
+        assert "dlrm" in api.registry_keys("workload")
+        assert "flood" in api.registry_keys("workload")
+        assert set(api.registry_keys("scheduler")) == {"baseline", "themis"}
+        assert "scf" in api.registry_keys("policy")
+        assert "ftf" in api.registry_keys("fairness")
+        assert "Ring" in api.registry_keys("algorithm")
+
+    def test_resolve(self):
+        assert api.resolve("topology", "2D-SW_SW").name == "2D-SW_SW"
+        assert api.resolve("workload", "dlrm").name == "DLRM"
+        assert api.resolve("scheduler", "themis").name == "Themis"
+        assert api.resolve("policy", "SCF").name == "SCF"
+
+    def test_resolve_unknown_has_did_you_mean(self):
+        with pytest.raises(SpecError, match="did you mean 'dlrm'"):
+            api.resolve("workload", "dlmr")
+
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError, match="unknown registry kind"):
+            api.registry_keys("wrkload")
+
+    def test_validate_key_case_rules(self):
+        # case-insensitive kinds fold; case-sensitive ones do not
+        assert api.validate_key("policy", "scf") == "scf"
+        with pytest.raises(SpecError, match="unknown topology key"):
+            api.validate_key("topology", "3d-sw_sw_sw_homo")
+
+    def test_register_plugs_into_domain_registry(self):
+        api.register("workload", "test-api-tiny", lambda: flood(2, 1.0, "tiny"))
+        assert "test-api-tiny" in api.registry_keys("workload")
+        assert get_workload("test-api-tiny").name == "tiny"  # domain accessor
+        spec = api.TrainingScenario(workload="test-api-tiny", topology=TINY)
+        assert spec.workload == "test-api-tiny"
+        with pytest.raises(WorkloadError, match="already registered"):
+            api.register("workload", "test-api-tiny", flood)
+
+
+# --- randomized round-trip property tests ------------------------------------
+POLICIES = ("FIFO", "SCF", "LCF")
+SCHEDULERS = ("baseline", "themis")
+
+
+def random_collective(rng: random.Random) -> api.CollectiveScenario:
+    return api.CollectiveScenario(
+        topology=rng.choice(("2D-SW_SW", "3D-SW_SW_SW_homo", TINY)),
+        collective=rng.choice(("allreduce", "reducescatter", "allgather")),
+        size=rng.uniform(1, 256) * MB,
+        chunks=rng.randint(1, 64),
+        scheduler=rng.choice(SCHEDULERS),
+        policy=rng.choice(POLICIES),
+        max_events=rng.choice((None, rng.randint(1, 10_000))),
+    )
+
+
+def random_training(rng: random.Random) -> api.TrainingScenario:
+    inline = rng.random() < 0.3
+    return api.TrainingScenario(
+        workload=(
+            workload_to_dict(flood(rng.randint(1, 4), rng.uniform(0.5, 8)))
+            if inline
+            else rng.choice(("dlrm", "resnet-152", "gnmt", "flood"))
+        ),
+        workload_args=(
+            {} if inline or rng.random() < 0.5
+            else {"layers": rng.randint(1, 3), "param_mb": rng.uniform(1, 4)}
+        ),
+        topology=rng.choice(("2D-SW_SW", TINY)),
+        scheduler=rng.choice(SCHEDULERS),
+        policy=rng.choice(POLICIES),
+        ideal_network=rng.random() < 0.3,
+        iterations=rng.randint(1, 3),
+        overlap_dp=rng.random() < 0.5,
+        dp_bucket_bytes=rng.choice((None, rng.uniform(1, 200) * MB)),
+        chunks=rng.randint(1, 64),
+    )
+
+
+def random_job(rng: random.Random, index: int) -> api.ScenarioJob:
+    return api.ScenarioJob(
+        name=f"job{index}",
+        workload=rng.choice(("dlrm", "flood")),
+        workload_args=(
+            {"layers": rng.randint(1, 3)} if rng.random() < 0.5 else {}
+        ),
+        arrival_time=rng.uniform(0, 1e-3),
+        scheduler=rng.choice(SCHEDULERS),
+        iterations=rng.randint(1, 3),
+        dim_indices=rng.choice((None, (0,), (0, 1))),
+        priority=rng.randint(0, 3),
+        weight=rng.uniform(0.5, 4.0),
+    )
+
+
+def random_cluster(rng: random.Random) -> api.ClusterScenario:
+    use_trace = rng.random() < 0.5
+    fairness = rng.choice((None, "fifo", "weighted", "ftf", "preempt"))
+    kwargs: dict = {}
+    if fairness == "weighted" and rng.random() < 0.7:
+        kwargs["fairness_weights"] = {"job0": rng.uniform(0.5, 4.0)}
+        if rng.random() < 0.5:
+            kwargs["fairness_weights_by_dim"] = {
+                "job1": {0: rng.uniform(0.5, 4.0), 1: rng.uniform(0.5, 4.0)}
+            }
+    if use_trace:
+        population: dict = {
+            "trace": api.PoissonTrace(
+                workloads=tuple(
+                    rng.choice(("dlrm", "resnet-152", "flood"))
+                    for _ in range(rng.randint(1, 3))
+                ),
+                interarrival=rng.uniform(1e-4, 5e-3),
+                seed=rng.randint(0, 99),
+                schedulers=rng.choice((("themis",), ("baseline", "themis"))),
+                iterations=rng.randint(1, 2),
+                jobs=rng.choice((None, rng.randint(1, 6))),
+            )
+        }
+        kwargs.pop("fairness_weights", None)
+        kwargs.pop("fairness_weights_by_dim", None)
+    else:
+        population = {
+            "jobs": tuple(random_job(rng, i) for i in range(rng.randint(1, 3)))
+        }
+        if "fairness_weights_by_dim" in kwargs and len(population["jobs"]) < 2:
+            del kwargs["fairness_weights_by_dim"]
+    return api.ClusterScenario(
+        topology=rng.choice(("3D-SW_SW_SW_homo", TINY)),
+        fairness=fairness,
+        policy=rng.choice(POLICIES),
+        chunks=rng.randint(1, 32),
+        overlap_dp=rng.random() < 0.5,
+        dp_bucket_bytes=rng.choice((None, rng.uniform(1, 200) * MB)),
+        isolated_baselines=rng.random() < 0.5,
+        record_ops=rng.random() < 0.3,
+        max_events=rng.choice((None, rng.randint(1, 10_000))),
+        **population,
+        **kwargs,
+    )
+
+
+def random_provisioning(rng: random.Random) -> api.ProvisioningScenario:
+    return api.ProvisioningScenario(
+        topology=rng.choice(tuple(api.registry_keys("topology")) + (TINY,)),
+        tolerance=rng.uniform(0, 0.2),
+        collective=rng.choice(("allreduce", "alltoall")),
+    )
+
+
+GENERATORS = {
+    "collective": random_collective,
+    "training": random_training,
+    "cluster": random_cluster,
+    "provisioning": random_provisioning,
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", range(25))
+    def test_dict_and_json_round_trip(self, mode, seed):
+        """``spec == from_dict(to_dict(spec))``, through JSON included."""
+        rng = random.Random(hash((mode, seed)) & 0xFFFFFFFF)
+        spec = GENERATORS[mode](rng)
+        data = spec.to_dict()
+        assert data["mode"] == mode and data["schema"] == api.SCHEMA_VERSION
+        assert type(spec).from_dict(data) == spec
+        assert api.spec_from_dict(data) == spec
+        rehydrated = api.spec_from_dict(json.loads(spec.to_json()))
+        assert rehydrated == spec
+        # and the round trip is stable (no normalization drift)
+        assert rehydrated.to_dict() == data
+
+    def test_workload_serialization_round_trip(self):
+        for name in ("dlrm", "resnet-152", "gnmt", "transformer-1t", "flood"):
+            workload = get_workload(name)
+            clone = workload_from_dict(workload_to_dict(workload))
+            assert clone == workload
+            assert clone.name == workload.name
+
+
+class TestSpecValidation:
+    def test_unknown_key_did_you_mean(self):
+        with pytest.raises(SpecError, match="did you mean 'topology'"):
+            api.spec_from_dict({"mode": "collective", "topolgy": "2D-SW_SW"})
+
+    def test_unknown_mode_did_you_mean(self):
+        with pytest.raises(SpecError, match="did you mean 'cluster'"):
+            api.spec_from_dict({"mode": "clstr"})
+
+    def test_missing_mode(self):
+        with pytest.raises(SpecError, match="needs a 'mode'"):
+            api.spec_from_dict({"schema": 1})
+
+    def test_newer_schema_rejected(self):
+        data = api.CollectiveScenario().to_dict()
+        data["schema"] = api.SCHEMA_VERSION + 1
+        with pytest.raises(SpecError, match="newer than the supported"):
+            api.spec_from_dict(data)
+
+    def test_registry_keys_checked_at_construction(self):
+        with pytest.raises(SpecError, match="unknown workload key"):
+            api.TrainingScenario(workload="dlmr")
+        with pytest.raises(SpecError, match="unknown topology key"):
+            api.CollectiveScenario(topology="9D-magic")
+        with pytest.raises(SpecError, match="unknown fairness key"):
+            api.ClusterScenario(
+                jobs=(api.ScenarioJob(name="a"),), fairness="karma"
+            )
+
+    def test_collective_aliases_accepted(self):
+        assert api.CollectiveScenario(collective="rs").collective == "rs"
+        with pytest.raises(SpecError, match="unknown collective key"):
+            api.CollectiveScenario(collective="allredcue")
+
+    def test_sizes_accept_strings(self):
+        spec = api.CollectiveScenario(size="64MB")
+        assert spec.size == pytest.approx(64 * MB)
+        spec = api.TrainingScenario(dp_bucket_bytes="100MB")
+        assert spec.dp_bucket_bytes == pytest.approx(100 * MB)
+
+    def test_cluster_needs_exactly_one_population(self):
+        with pytest.raises(SpecError, match="exactly one of"):
+            api.ClusterScenario()
+        with pytest.raises(SpecError, match="exactly one of"):
+            api.ClusterScenario(
+                jobs=(api.ScenarioJob(name="a"),), trace=api.PoissonTrace()
+            )
+
+    def test_cluster_duplicate_job_names(self):
+        with pytest.raises(SpecError, match="duplicate job names"):
+            api.ClusterScenario(
+                jobs=(api.ScenarioJob(name="a"), api.ScenarioJob(name="a"))
+            )
+
+    def test_weights_require_weighted_policy(self):
+        jobs = (api.ScenarioJob(name="a"),)
+        with pytest.raises(SpecError, match="requires fairness='weighted'"):
+            api.ClusterScenario(jobs=jobs, fairness_weights={"a": 2.0})
+        with pytest.raises(SpecError, match="requires fairness='weighted'"):
+            api.ClusterScenario(
+                jobs=jobs, fairness="ftf",
+                fairness_weights_by_dim={"a": {0: 2.0}},
+            )
+
+    def test_by_dim_keys_normalized_to_int(self):
+        spec = api.ClusterScenario(
+            jobs=(api.ScenarioJob(name="a"),),
+            fairness="weighted",
+            fairness_weights_by_dim={"a": {"1": 2.0}},
+        )
+        assert spec.fairness_weights_by_dim == {"a": {1: 2.0}}
+
+    def test_inline_topology_validated(self):
+        with pytest.raises(Exception):
+            api.CollectiveScenario(topology={"name": "bad", "dims": []})
+
+    def test_live_objects_are_inlined(self):
+        spec = api.TrainingScenario(
+            workload=flood(2, 1.0, "w"), topology=tiny_topology()
+        )
+        assert isinstance(spec.workload, dict)
+        assert isinstance(spec.topology, dict)
+        assert api.spec_from_dict(json.loads(spec.to_json())) == spec
+
+
+class TestOverrides:
+    def test_with_overrides_parses_and_revalidates(self):
+        spec = api.CollectiveScenario()
+        changed = spec.with_overrides({"chunks": "8", "scheduler": "baseline"})
+        assert changed.chunks == 8 and changed.scheduler == "baseline"
+        assert spec.chunks == 64  # original untouched
+        with pytest.raises(SpecError, match="unknown scheduler"):
+            spec.with_overrides({"scheduler": "themsi"})
+
+    def test_dotted_paths_reach_nested_fields(self):
+        spec = api.ClusterScenario(topology=TINY, trace=api.PoissonTrace())
+        assert spec.with_overrides({"trace.seed": "7"}).trace.seed == 7
+        jobs_spec = api.ClusterScenario(
+            topology=TINY,
+            jobs=(api.ScenarioJob(name="a"), api.ScenarioJob(name="b")),
+        )
+        bumped = jobs_spec.with_overrides({"jobs.1.weight": "3.5"})
+        assert bumped.jobs[1].weight == 3.5 and bumped.jobs[0].weight == 1.0
+
+    def test_unknown_path_did_you_mean(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            api.ClusterScenario(
+                topology=TINY, trace=api.PoissonTrace()
+            ).with_overrides({"trace.sede": "1"})
+
+
+# --- the runner --------------------------------------------------------------
+FAST = dict(chunks=4)
+
+
+class TestRun:
+    def test_collective_matches_legacy_path(self):
+        spec = api.CollectiveScenario(size=32 * MB, chunks=8)
+        report = api.run(spec)
+        legacy, _ = run_collective(
+            get_topology(spec.topology), SchedulerConfig("themis", "SCF"),
+            spec.size, chunks=8,
+        )
+        assert report.makespan == pytest.approx(legacy.comm_time, rel=1e-12)
+        assert report.avg_utilization == pytest.approx(
+            legacy.utilization, rel=1e-12
+        )
+        assert report.payload["ideal_time"] == pytest.approx(
+            legacy.ideal_time, rel=1e-12
+        )
+        assert report.mode == "collective" and report.events > 0
+
+    def test_training_matches_legacy_path(self):
+        spec = api.TrainingScenario(
+            workload="dlrm", topology="2D-SW_SW", scheduler="baseline",
+            overlap_dp=False, dp_bucket_bytes=100 * MB, chunks=16,
+        )
+        report = api.run(spec)
+        legacy = simulate_training(
+            get_workload("dlrm"), get_topology("2D-SW_SW"),
+            scheduler="baseline",
+            config=TrainingConfig(
+                overlap_dp=False, dp_bucket_bytes=100 * MB,
+                chunks_per_collective=16,
+            ),
+        )
+        assert report.makespan == pytest.approx(legacy.total_time, rel=1e-12)
+        assert report.avg_utilization == pytest.approx(
+            legacy.avg_bw_utilization, rel=1e-12
+        )
+        assert report.detail.describe() == legacy.describe()
+
+    def test_cluster_runs_from_spec(self):
+        spec = api.ClusterScenario(
+            topology=TINY,
+            jobs=(
+                api.ScenarioJob(
+                    name="a", workload="flood",
+                    workload_args={"layers": 2, "param_mb": 2.0},
+                ),
+                api.ScenarioJob(
+                    name="b", workload="flood",
+                    workload_args={"layers": 1, "param_mb": 4.0},
+                    arrival_time=1e-4,
+                ),
+            ),
+            **FAST,
+        )
+        report = api.run(spec)
+        assert report.mode == "cluster" and not report.truncated
+        assert {row["name"] for row in report.payload["jobs"]} == {"a", "b"}
+        assert report.payload["mean_rho"] >= 1.0
+        assert report.detail.job("a").finished
+
+    def test_cluster_truncated_propagates(self):
+        spec = api.ClusterScenario(
+            topology=TINY,
+            jobs=(api.ScenarioJob(name="a", workload="flood"),),
+            isolated_baselines=False,
+            max_events=3,
+            **FAST,
+        )
+        report = api.run(spec)
+        assert report.truncated
+        assert report.payload["unfinished_jobs"] == ["a"]
+        assert report.payload["mean_jct"] is None
+        # the flag survives serialization
+        assert api.RunReport.from_dict(report.to_dict()).truncated
+
+    def test_provisioning(self):
+        report = api.run(api.ProvisioningScenario(topology="3D-SW_SW_SW_hetero"))
+        assert report.mode == "provisioning"
+        assert report.events == 0 and report.makespan == 0.0
+        assert 0 < report.payload["max_utilization"] <= 1.0
+        assert len(report.payload["assessments"]) == 3
+
+    def test_run_accepts_dicts(self):
+        report = api.run({"mode": "provisioning", "topology": "2D-SW_SW"})
+        assert report.mode == "provisioning"
+
+    def test_report_round_trip(self):
+        report = api.run(api.CollectiveScenario(size=16 * MB, chunks=4))
+        clone = api.RunReport.from_dict(json.loads(report.to_json()))
+        assert clone.makespan == report.makespan
+        assert clone.payload == report.payload
+        assert clone.detail is None  # detail never crosses serialization
+
+    def test_ideal_network_mode(self):
+        report = api.run(
+            api.TrainingScenario(
+                workload="flood", workload_args={"layers": 2},
+                topology=TINY, ideal_network=True, chunks=4,
+            )
+        )
+        assert report.payload["scheduler_label"] == "Ideal"
+
+
+# --- sweeps ------------------------------------------------------------------
+class TestSweep:
+    def test_grid_order_and_overrides(self):
+        base = api.CollectiveScenario(topology=TINY, size=8 * MB, chunks=4)
+        grid = api.sweep(
+            base,
+            {"scheduler": ["baseline", "themis"], "chunks": [2, 4]},
+        )
+        assert len(grid) == 4
+        assert [p.overrides["scheduler"] for p in grid] == [
+            "baseline", "baseline", "themis", "themis",
+        ]
+        assert [p.overrides["chunks"] for p in grid] == [2, 4, 2, 4]
+        assert grid.find(scheduler="themis", chunks=2).report.makespan > 0
+
+    def test_coupled_axis(self):
+        base = api.CollectiveScenario(topology=TINY, size=8 * MB, chunks=4)
+        grid = api.sweep(
+            base,
+            {"scheduler+policy": [("baseline", "FIFO"), ("themis", "SCF")]},
+        )
+        labels = [p.report.payload["scheduler_label"] for p in grid]
+        assert labels == ["Baseline", "Themis+SCF"]
+
+    def test_bad_coupled_values(self):
+        base = api.CollectiveScenario(topology=TINY)
+        with pytest.raises(SpecError, match="coupled axis"):
+            api.sweep(base, {"scheduler+policy": ["baseline"]})
+
+    def test_axis_values_validated_before_running(self):
+        base = api.CollectiveScenario(topology=TINY)
+        with pytest.raises(SpecError, match="unknown scheduler"):
+            api.sweep(base, {"scheduler": ["baseline", "nope"]})
+
+    def test_process_pool_matches_sequential(self):
+        base = api.CollectiveScenario(topology=TINY, size=8 * MB, chunks=4)
+        axes = {"scheduler": ["baseline", "themis"]}
+        seq = api.sweep(base, axes)
+        par = api.sweep(base, axes, processes=2)
+        for a, b in zip(seq, par):
+            da, db = a.report.to_dict(), b.report.to_dict()
+            da.pop("wall_time"), db.pop("wall_time")
+            assert da == db
+        assert par.points[0].report.detail is None
+
+    def test_truncated_points_flagged_not_fatal(self):
+        base = api.ClusterScenario(
+            topology=TINY,
+            jobs=(api.ScenarioJob(name="a", workload="flood"),),
+            isolated_baselines=False,
+            **FAST,
+        )
+        grid = api.sweep(base, {"max_events": [3, None]})
+        flags = [p.report.truncated for p in grid]
+        assert flags == [True, False]
+        assert len(grid.truncated_points) == 1
+        assert "truncated by event budget" in grid.render()
+
+    def test_sweep_result_serializes(self):
+        base = api.ProvisioningScenario()
+        grid = api.sweep(base, {"topology": ["2D-SW_SW", "3D-SW_SW_SW_homo"]})
+        data = json.loads(grid.to_json())
+        assert len(data["points"]) == 2
+        assert data["points"][0]["overrides"]["topology"] == "2D-SW_SW"
+
+    def test_sequential_sweep_shares_isolated_baselines(self, monkeypatch):
+        """Policy sweeps must not re-simulate solo baselines per point."""
+        import repro.cluster.simulator as sim_mod
+
+        calls = []
+        original = sim_mod.isolated_jct
+        monkeypatch.setattr(
+            sim_mod, "isolated_jct",
+            lambda *a, **k: calls.append(1) or original(*a, **k),
+        )
+        base = api.ClusterScenario(
+            topology=TINY,
+            jobs=(
+                api.ScenarioJob(name="a", workload="flood",
+                                workload_args={"layers": 2}),
+                api.ScenarioJob(name="b", workload="flood",
+                                workload_args={"layers": 1, "param_mb": 8.0},
+                                arrival_time=1e-4),
+            ),
+            **FAST,
+        )
+        grid = api.sweep(base, {"fairness": [None, "fifo", "weighted"]})
+        assert len(grid) == 3
+        # 2 jobs, 3 policies: each distinct job's solo run happens once.
+        assert len(calls) == 2
+
+    def test_same_seed_same_results(self):
+        """Sweeps never perturb spec seeds: identical grids, identical runs."""
+        base = api.ClusterScenario(
+            topology=TINY,
+            trace=api.PoissonTrace(
+                workloads=("flood",), interarrival=1e-4, seed=9, jobs=2
+            ),
+            isolated_baselines=False,
+            **FAST,
+        )
+        axes = {"policy": ["FIFO", "SCF"]}
+        first = api.sweep(base, axes)
+        second = api.sweep(base, axes)
+        for a, b in zip(first, second):
+            assert a.report.makespan == b.report.makespan
+
+
+# --- per-dimension tenant weights (satellite) --------------------------------
+class TestPerDimWeights:
+    def test_network_flattens_per_dim_maps(self):
+        sim = NetworkSimulator(tiny_topology())
+        sim.set_tenant_weights({"a": {0: 4.0}, "b": 2.0})
+        assert sim.channels[0].share_weights == {"a": 4.0, "b": 2.0}
+        assert sim.channels[1].share_weights == {"a": 1.0, "b": 2.0}
+
+    def test_network_rejects_bad_dim_index(self):
+        sim = NetworkSimulator(tiny_topology())
+        with pytest.raises(ConfigError, match="out of range"):
+            sim.set_tenant_weights({"a": {2: 4.0}})
+
+    def test_weighted_sharing_by_dim_prepare(self):
+        from repro.cluster import ClusterConfig, ClusterSimulator, JobSpec
+
+        policy = WeightedSharing(weights_by_dim={"a": {1: 8.0}})
+        sim = ClusterSimulator(
+            tiny_topology(),
+            [
+                JobSpec(name="a", workload=flood(1, 2.0, "wa")),
+                JobSpec(name="b", workload=flood(1, 2.0, "wb")),
+            ],
+            ClusterConfig(
+                fairness=policy, isolated_baselines=False,
+            ),
+        )
+        policy.prepare(sim)
+        assert sim.network.channels[1].share_weights["a"] == 8.0
+        assert sim.network.channels[0].share_weights["a"] == 1.0
+        assert sim.network.channels[0].share_weights["b"] == 1.0
+        assert "per-dimension" in policy.describe()
+
+    def test_weighted_sharing_unknown_job_rejected(self):
+        """Misnamed tenants must fail loudly, never silently unweight."""
+        from repro.cluster import ClusterConfig, ClusterSimulator, JobSpec
+
+        for policy in (
+            WeightedSharing(weights_by_dim={"ghost": {0: 2.0}}),
+            WeightedSharing(weights={"ghost": 2.0}),
+        ):
+            sim = ClusterSimulator(
+                tiny_topology(),
+                [JobSpec(name="a", workload=flood(1, 2.0, "wa"))],
+                ClusterConfig(fairness=policy, isolated_baselines=False),
+            )
+            with pytest.raises(ConfigError, match="unknown job.s. 'ghost'"):
+                policy.prepare(sim)
+
+    def test_scenario_field_reaches_channels(self):
+        spec = api.ClusterScenario(
+            topology=TINY,
+            jobs=(
+                api.ScenarioJob(name="a", workload="flood",
+                                workload_args={"layers": 2}),
+                api.ScenarioJob(name="b", workload="flood",
+                                workload_args={"layers": 1, "param_mb": 8.0}),
+            ),
+            fairness="weighted",
+            fairness_weights_by_dim={"b": {1: 4.0}},
+            isolated_baselines=False,
+            **FAST,
+        )
+        report = api.run(spec)
+        assert not report.truncated
+        assert report.payload["fairness"].startswith("Weighted shares")
+        assert "per-dimension" in report.payload["fairness"]
+
+    def test_per_dim_favoritism_changes_outcomes(self):
+        """Boosting a tenant on the dimension it fights for must help it."""
+        def jct_of_b(by_dim):
+            spec = api.ClusterScenario(
+                topology=TINY,
+                jobs=(
+                    api.ScenarioJob(name="a", workload="flood",
+                                    workload_args={"layers": 8,
+                                                   "param_mb": 4.0}),
+                    api.ScenarioJob(name="b", workload="flood",
+                                    workload_args={"layers": 1,
+                                                   "param_mb": 16.0}),
+                ),
+                fairness="weighted",
+                fairness_weights_by_dim=by_dim,
+                isolated_baselines=False,
+                **FAST,
+            )
+            return api.run(spec).detail.job("b").jct
+
+        boosted = jct_of_b({"b": {0: 16.0, 1: 16.0}})
+        starved = jct_of_b({"b": {0: 1.0, 1: 1.0}})
+        assert boosted < starved
+
+
+# --- shipped example specs ---------------------------------------------------
+SPECS_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+
+
+class TestShippedSpecs:
+    def test_all_example_specs_parse_and_round_trip(self):
+        paths = sorted(glob.glob(str(SPECS_DIR / "*.json")))
+        assert len(paths) >= 4, "examples/specs/ must ship specs"
+        modes = set()
+        for path in paths:
+            spec = api.load_spec(path)
+            modes.add(spec.mode)
+            assert api.spec_from_dict(json.loads(spec.to_json())) == spec
+        assert modes == {"collective", "training", "cluster", "provisioning"}
+
+    def test_provisioning_example_runs(self):
+        report = api.run(api.load_spec(SPECS_DIR / "provisioning_hetero.json"))
+        assert report.payload["assessments"]

@@ -104,3 +104,92 @@ class TestCommands:
     def test_fig_unknown(self, capsys):
         assert main(["fig", "99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+
+class TestSpecCommands:
+    """The declarative ``run`` / ``sweep`` subcommands."""
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        from repro import api
+        from repro.units import MB
+
+        path = tmp_path / "spec.json"
+        api.CollectiveScenario(size=16 * MB, chunks=4).save(path)
+        return str(path)
+
+    def test_run_spec(self, spec_path, capsys):
+        assert main(["run", "--spec", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "[collective]" in out and "makespan" in out
+
+    def test_run_spec_json_output(self, spec_path, capsys):
+        import json
+
+        assert main(["run", "--spec", spec_path, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mode"] == "collective"
+        assert report["makespan"] > 0 and not report["truncated"]
+
+    def test_run_check_only(self, spec_path, capsys):
+        assert main(["run", "--spec", spec_path, "--check"]) == 0
+        assert "spec OK: CollectiveScenario" in capsys.readouterr().out
+
+    def test_run_with_set_overrides(self, spec_path, capsys):
+        code = main(
+            ["run", "--spec", spec_path, "--set", "scheduler=baseline",
+             "--show-spec", "--check"]
+        )
+        assert code == 0
+        assert '"scheduler": "baseline"' in capsys.readouterr().out
+
+    def test_run_bad_set_value(self, spec_path, capsys):
+        assert main(["run", "--spec", spec_path, "--set", "scheduler=nope"]) == 1
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_run_missing_file(self, capsys):
+        assert main(["run", "--spec", "/does/not/exist.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_with_axes(self, spec_path, capsys):
+        code = main(
+            ["sweep", "--spec", spec_path,
+             "--axis", "scheduler+policy=baseline:FIFO,themis:SCF"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep over scheduler, policy" in out
+        assert "2 run(s)" in out
+
+    def test_sweep_json(self, spec_path, capsys):
+        import json
+
+        code = main(
+            ["sweep", "--spec", spec_path, "--axis", "chunks=2,4", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [p["overrides"]["chunks"] for p in data["points"]] == [2, 4]
+
+    def test_sweep_needs_axis(self, spec_path, capsys):
+        assert main(["sweep", "--spec", spec_path]) == 1
+        assert "--axis" in capsys.readouterr().err
+
+    def test_every_shipped_spec_checks(self, capsys):
+        import glob
+        from pathlib import Path
+
+        specs_dir = Path(__file__).resolve().parent.parent / "examples" / "specs"
+        for path in sorted(glob.glob(str(specs_dir / "*.json"))):
+            assert main(["run", "--spec", path, "--check"]) == 0, path
+        assert "spec OK" in capsys.readouterr().out
+
+    def test_legacy_commands_show_spec(self, capsys):
+        """Legacy subcommands are thin builders over the same specs."""
+        assert main(
+            ["collective", "--size", "16MB", "--chunks", "4", "--show-spec"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert '"mode": "collective"' in out
+        assert main(["provisioning", "--show-spec"]) == 0
+        assert '"mode": "provisioning"' in capsys.readouterr().out

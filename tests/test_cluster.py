@@ -14,7 +14,7 @@ from repro.cluster import (
     poisson_trace,
     run_cluster,
 )
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.topology import Topology, dimension
 from repro.training import TrainingConfig, simulate_training
 from repro.units import MB
@@ -203,15 +203,39 @@ class TestClusterSimulator:
         for outcome in report.jobs:
             assert 0 < outcome.comm_active_seconds <= report.comm_active_seconds
 
-    def test_event_budget_passthrough(self):
+    def test_event_budget_returns_truncated_report(self):
+        """A run cut short by ``max_events`` must not look complete: the
+        report is flagged truncated, the cut job has no finish time, and
+        the per-job metrics are None rather than misleading numbers."""
         topology = tiny_topology()
         sim = ClusterSimulator(
             topology,
             [JobSpec(name="j", workload=tiny_workload())],
             ClusterConfig(isolated_baselines=False),
         )
-        with pytest.raises(SimulationError, match="pending"):
-            sim.run(max_events=3)
+        report = sim.run(max_events=3)
+        assert report.truncated
+        assert report.truncated_at is not None
+        assert [job.name for job in report.unfinished_jobs] == ["j"]
+        outcome = report.jobs[0]
+        assert not outcome.finished
+        assert outcome.finish_time is None
+        assert outcome.jct is None and outcome.slowdown is None
+        assert report.mean_jct is None and report.max_jct is None
+        assert report.makespan >= 0
+        assert "TRUNCATED" in report.describe()
+
+    def test_untruncated_report_not_flagged(self):
+        topology = tiny_topology()
+        report = ClusterSimulator(
+            topology,
+            [JobSpec(name="j", workload=tiny_workload())],
+            ClusterConfig(isolated_baselines=False),
+        ).run()
+        assert not report.truncated
+        assert report.truncated_at is None
+        assert report.unfinished_jobs == []
+        assert "TRUNCATED" not in report.describe()
 
     def test_validation(self):
         topology = tiny_topology()
