@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a fresh scaling-benchmark JSON against the committed baseline.
+
+``BENCH_scaling.json`` at the repo root is the tracked perf trajectory;
+the CI perf-smoke job regenerates it on a reduced matrix and this script
+diffs the two, printing a per-case delta table (markdown, also appended to
+``$GITHUB_STEP_SUMMARY`` when set) and exiting non-zero when a case
+regresses beyond tolerance — the job stays ``continue-on-error``, so a
+regression is a loud warning in the PR, not a red build on a noisy runner.
+
+Two signals with very different noise profiles are reported:
+
+* **events** — the number of simulation events a case processes is
+  deterministic: any change is a real behavioral change in the hot path,
+  so the tolerance is tight (default 2%) and drift **gates the exit
+  code**;
+* **wall seconds** — the committed baseline was measured on a different
+  machine than the CI runner, so absolute ratios are not comparable
+  run-to-run: cases slower than ``--wall-tolerance`` are flagged in the
+  table (``slow (info)``) but never fail the check.
+
+Cases present in only one document (the reduced CI matrix is a subset of
+the tracked one) are skipped, not failed.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_scaling.json \
+        --fresh perf-artifacts/BENCH_scaling.json \
+        [--wall-tolerance 1.6] [--events-tolerance 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_cases(path: Path) -> "dict[tuple[int, str], dict]":
+    """``(jobs, policy) -> optimized-path measurements`` from a bench JSON."""
+    document = json.loads(path.read_text())
+    cases = {}
+    for entry in document.get("results", []):
+        measurements = entry.get("optimized")
+        if measurements is None:
+            continue
+        cases[(entry["jobs"], entry["policy"])] = measurements
+    return cases
+
+
+def delta_cell(fresh: float, base: float) -> str:
+    if base <= 0:
+        return "n/a"
+    return f"{(fresh - base) / base:+.1%}".replace("%", " %")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed BENCH_scaling.json")
+    parser.add_argument("--fresh", required=True, type=Path,
+                        help="freshly generated BENCH_scaling.json")
+    parser.add_argument("--wall-tolerance", type=float, default=1.6,
+                        help="fresh/baseline wall-time ratio above which a "
+                             "case is flagged 'slow' in the table — "
+                             "informational only, never fails the check "
+                             "(default: 1.6)")
+    parser.add_argument("--events-tolerance", type=float, default=0.02,
+                        help="max allowed relative event-count drift "
+                             "(default: 0.02)")
+    args = parser.parse_args(argv)
+
+    baseline = load_cases(args.baseline)
+    fresh = load_cases(args.fresh)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("no comparable cases between baseline and fresh results")
+        return 1
+
+    lines = [
+        "### Perf smoke: fresh vs committed `BENCH_scaling.json`",
+        "",
+        "| jobs | policy | wall (base) | wall (fresh) | wall delta "
+        "| events (base) | events (fresh) | verdict |",
+        "|---:|:---|---:|---:|---:|---:|---:|:---|",
+    ]
+    regressions = []
+    for jobs, policy in shared:
+        base = baseline[(jobs, policy)]
+        new = fresh[(jobs, policy)]
+        notes = []
+        wall_base, wall_new = base["wall_seconds"], new["wall_seconds"]
+        if wall_base > 0 and wall_new / wall_base > args.wall_tolerance:
+            notes.append(f"slow (info): wall {wall_new / wall_base:.2f}x")
+        events_base, events_new = base["events"], new["events"]
+        gating = []
+        if events_base > 0:
+            drift = abs(events_new - events_base) / events_base
+            if drift > args.events_tolerance:
+                gating.append(
+                    f"events drifted {drift:.1%} > "
+                    f"{args.events_tolerance:.0%}"
+                )
+        if gating:
+            verdict = "REGRESSION: " + "; ".join(gating + notes)
+            regressions.append((jobs, policy, verdict))
+        else:
+            verdict = "; ".join(notes) if notes else "ok"
+        lines.append(
+            f"| {jobs} | {policy} | {wall_base * 1e3:.1f} ms "
+            f"| {wall_new * 1e3:.1f} ms | {delta_cell(wall_new, wall_base)} "
+            f"| {events_base} | {events_new} | {verdict} |"
+        )
+    skipped = len(set(baseline) ^ set(fresh))
+    lines.append("")
+    lines.append(
+        f"{len(shared)} case(s) compared, {skipped} present in only one "
+        f"document (skipped), {len(regressions)} regression(s)."
+    )
+    table = "\n".join(lines)
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(table + "\n")
+
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Automatic job placement: bin-packing and CASSINI-style interleaving.
+
+Three demonstrations:
+
+1. **Placement mechanics on a tiny platform** — six identical comm-bound
+   jobs arrive on a 3-dimension network; hand placement (`dim_indices`)
+   and the `all-dims` baseline pile them onto shared wires while
+   `load-balanced` spreads them one per dimension, visible directly in the
+   per-job `placement` recorded in the :class:`ClusterReport` and the
+   report's load-imbalance metric.
+2. **Duty cycles** — the analytic comm/compute profile behind the
+   `interleaved` policy (:func:`repro.workloads.comm_compute_profile`),
+   printed for a comm-bound and a compute-bound workload.
+3. **The skewed-trace policy comparison** — the talkers/thinkers trace
+   from ``repro.experiments.placement`` run under all four placement
+   policies, reproducing the headline: automatic placement beats the
+   all-dims baseline on mean JCT and makespan, and `interleaved` keeps the
+   worst-case rho lowest by separating colliding communication phases.
+
+Run:  python examples/placement_policies.py
+"""
+
+from repro.cluster import ClusterConfig, ClusterSimulator, JobSpec
+from repro.experiments import run_placement_comparison
+from repro.topology import Topology, dimension
+from repro.units import fmt_time
+from repro.workloads import comm_compute_profile, flood
+
+
+def tiny_platform() -> Topology:
+    return Topology(
+        [
+            dimension("sw", 4, 400.0, latency_ns=100),
+            dimension("sw", 4, 400.0, latency_ns=100),
+            dimension("sw", 4, 400.0, latency_ns=100),
+        ],
+        name="tiny-3d",
+    )
+
+
+def placement_mechanics_demo() -> None:
+    """Six identical jobs, three dimensions, three placement choices."""
+    topology = tiny_platform()
+    jobs = [
+        JobSpec(
+            name=f"job{i}",
+            workload=flood(4, 8, f"w{i}"),
+            arrival_time=i * 1e-4,
+            iterations=2,
+        )
+        for i in range(6)
+    ]
+    print("placement mechanics (6 identical comm-bound jobs, 3 dims):")
+    for policy in ("all-dims", "load-balanced"):
+        report = ClusterSimulator(
+            topology, jobs, ClusterConfig(placement=policy)
+        ).run()
+        dims = ", ".join(
+            f"{job.name}->{job.placement_label}" for job in report.jobs
+        )
+        print(f"  [{policy}] {dims}")
+        print(
+            f"    makespan {fmt_time(report.makespan)}, "
+            f"mean JCT {fmt_time(report.mean_jct)}, "
+            f"load imbalance {report.load_imbalance:.2f}"
+        )
+    print()
+
+
+def duty_cycle_demo() -> None:
+    """The analytic job model the interleaved policy packs on."""
+    bandwidth = 50e9  # one tiny-platform dimension, bytes/s
+    talker = flood(8, 16, "talker")
+    thinker = flood(2, 0.5, "thinker", fwd_flops=6e10, bwd_flops=1.2e11)
+    print("communication duty cycles (analytic, per iteration):")
+    for workload in (talker, thinker):
+        profile = comm_compute_profile(workload)
+        print(
+            f"  {workload.name}: compute "
+            f"{fmt_time(profile.compute_seconds)}, comm "
+            f"{fmt_time(profile.comm_seconds(bandwidth))} "
+            f"-> duty cycle {profile.duty_cycle(bandwidth):.2f}"
+        )
+    print(
+        "  (two jobs interleave cleanly on one dimension when their duty "
+        "cycles sum to <= 1)"
+    )
+    print()
+
+
+def policy_comparison_demo() -> None:
+    """The skewed trace under all four placement policies."""
+    result = run_placement_comparison(quick=True, schedulers=("themis",))
+    print(result.render())
+
+
+def main() -> None:
+    placement_mechanics_demo()
+    duty_cycle_demo()
+    policy_comparison_demo()
+
+
+if __name__ == "__main__":
+    main()

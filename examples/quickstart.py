@@ -45,7 +45,7 @@ def main() -> None:
         CollectiveType.ALL_REDUCE, SIZE, topology
     )
 
-    print(f"1GB All-Reduce, 64 chunks:")
+    print("1GB All-Reduce, 64 chunks:")
     print(
         f"  Baseline   : {fmt_time(baseline.makespan):>10}   "
         f"{bw_utilization(baseline).describe(topology)}"

@@ -18,6 +18,7 @@ fairness policies, collective algorithms) are named by key in one unified
 registry — see :func:`register` for the plugin surface.
 """
 
+from ..cluster.placement import register_placement
 from .registry import (
     COLLECTIVE_KEYS,
     SCHEDULER_KINDS,
@@ -50,6 +51,7 @@ from .spec import (
 __all__ = [
     # registry
     "register",
+    "register_placement",
     "resolve",
     "registry_keys",
     "registry_kinds",

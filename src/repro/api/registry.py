@@ -16,7 +16,7 @@ them behind one surface:
   accessors and every spec/CLI key lookup see it.
 
 Kinds: ``topology``, ``workload``, ``collective``, ``scheduler``,
-``policy``, ``fairness``, ``algorithm``.
+``policy``, ``fairness``, ``placement``, ``algorithm``.
 """
 
 from __future__ import annotations
@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..cluster import fairness as _fairness
+from ..cluster import placement as _placement
 from ..collectives import registry as _algorithms
 from ..collectives.types import CollectiveType
 from ..core import policies as _policies
@@ -86,6 +87,10 @@ _KINDS: dict[str, _Kind] = {
         "fairness", _fairness.get_fairness,
         _fairness.fairness_names, _fairness.register_fairness,
     ),
+    "placement": _Kind(
+        "placement", _placement.get_placement,
+        _placement.placement_names, _placement.register_placement,
+    ),
     "algorithm": _Kind(
         "algorithm", _algorithms.get_algorithm,
         _algorithms.algorithm_names, _algorithms.register_algorithm,
@@ -129,6 +134,14 @@ def validate_key(kind: str, key: str) -> str:
     """
     entry = _kind(kind)
     known = entry.lister()
+    if not isinstance(key, str):
+        # Specs are plain JSON: a mistyped document can put any value here
+        # (``"placement": 5``), which must surface as a spec error, not an
+        # AttributeError traceback out of the case-folding below.
+        raise SpecError(
+            f"{kind} key must be a string, got {key!r}; "
+            f"known: {', '.join(known)}"
+        )
     if key in known:
         return key
     if entry.casefold and key.lower() in {k.lower() for k in known}:
@@ -165,7 +178,8 @@ def register(kind: str, key: str, factory: Any) -> None:
 
     Delegates to the domain registry (``register_preset``,
     ``register_workload``, ``register_policy``, ``register_fairness``,
-    ``register_algorithm``), so the component is visible both here and
+    ``register_placement``, ``register_algorithm``), so the component is
+    visible both here and
     through the subsystem's own accessors.  Duplicate keys are rejected by
     the domain registry.
     """

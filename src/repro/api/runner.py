@@ -169,6 +169,7 @@ def _run_cluster(spec: ClusterScenario, context: dict | None = None) -> RunRepor
         ),
         isolated_baselines=spec.isolated_baselines,
         fairness=fairness,
+        placement=spec.placement,
         record_ops=spec.record_ops,
     )
     isolated_cache = None
@@ -203,6 +204,9 @@ def _run_cluster(spec: ClusterScenario, context: dict | None = None) -> RunRepor
             "isolated_time": job.isolated_time,
             "rho": job.rho,
             "comm_active_seconds": job.comm_active_seconds,
+            "placement": (
+                list(job.placement) if job.placement is not None else None
+            ),
         }
         for job in report.jobs
     ]
@@ -225,6 +229,9 @@ def _run_cluster(spec: ClusterScenario, context: dict | None = None) -> RunRepor
             "max_rho": report.max_rho,
             "jains_fairness_index": report.jains_fairness_index,
             "fairness": report.fairness_name,
+            "placement": report.placement_name,
+            "dim_load": list(report.dim_load),
+            "load_imbalance": report.load_imbalance,
             "preemption_count": report.preemption_count,
             "comm_active_seconds": report.comm_active_seconds,
         },

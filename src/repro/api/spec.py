@@ -494,6 +494,11 @@ class ClusterScenario(ScenarioSpec):
     ``fairness_weights_by_dim`` parameterize the ``"weighted"`` policy:
     the former overrides a job's scalar weight, the latter gives a job a
     *different* share per dimension (``{job: {dim index: weight}}``).
+    ``placement`` names the placement policy assigning each arriving job
+    its dimension subset (``"manual"``, ``"all-dims"``,
+    ``"load-balanced"``, ``"interleaved"``, or anything registered);
+    ``None`` keeps the default hand placement from each job's
+    ``dim_indices``.
     """
 
     mode: ClassVar[str] = "cluster"
@@ -502,6 +507,7 @@ class ClusterScenario(ScenarioSpec):
     jobs: tuple[ScenarioJob, ...] = ()
     trace: "PoissonTrace | None" = None
     fairness: "str | None" = None
+    placement: "str | None" = None
     fairness_weights: "dict[str, float] | None" = None
     fairness_weights_by_dim: "dict[str, dict[int, float]] | None" = None
     policy: str = "SCF"
@@ -525,6 +531,8 @@ class ClusterScenario(ScenarioSpec):
             raise SpecError(f"duplicate job names: {', '.join(duplicates)}")
         if self.fairness is not None:
             validate_key("fairness", self.fairness)
+        if self.placement is not None:
+            validate_key("placement", self.placement)
         weighted = self.fairness == "weighted"
         if self.fairness_weights is not None:
             if not weighted:

@@ -226,6 +226,49 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.fairness and args.placement:
+        print(
+            "error: --fairness and --placement each run their own fixed "
+            "skewed-trace comparison; pick one",
+            file=sys.stderr,
+        )
+        return 1
+    if args.placement:
+        from .experiments.placement import (
+            PLACEMENT_VARIANTS,
+            placement_sweep,
+            run_placement_comparison,
+        )
+
+        ignored = [
+            f"--{dest.replace('_', '-')}"
+            for dest, default in _CLUSTER_TRACE_DEFAULTS.items()
+            if getattr(args, dest) != default
+        ]
+        if ignored:
+            print(
+                f"note: --placement runs the fixed skewed trace; ignoring "
+                f"{', '.join(ignored)}",
+                file=sys.stderr,
+            )
+        if args.placement == "all":
+            policies = PLACEMENT_VARIANTS
+        elif args.placement in ("manual", "all-dims"):
+            policies = (args.placement,)
+        else:
+            # Always include the baselines so the comparison is visible.
+            policies = ("manual", "all-dims", args.placement)
+        if args.show_spec:
+            base, _axes = placement_sweep(
+                topology_name=args.topology, policies=policies
+            )
+            print(base.to_json())
+            print()
+        result = run_placement_comparison(
+            topology_name=args.topology, policies=policies
+        )
+        print(result.render())
+        return 0
     if args.fairness:
         from .experiments.fairness import (
             FAIRNESS_VARIANTS,
@@ -399,17 +442,24 @@ def build_parser() -> argparse.ArgumentParser:
                          default=_CLUSTER_TRACE_DEFAULTS["workloads"],
                          help="comma-separated workload rotation "
                               "(default: dlrm,resnet-152,gnmt)")
-    from .cluster import fairness_names
+    from .cluster import fairness_names, placement_names
 
-    # Choices come from the fairness registry, so policies added via
-    # ``register_fairness`` / ``api.register("fairness", ...)`` before the
-    # parser is built are selectable here too.
+    # Choices come from the fairness/placement registries, so policies
+    # added via ``register_fairness`` / ``register_placement`` /
+    # ``api.register(...)`` before the parser is built are selectable too.
     cluster.add_argument("--fairness", default="",
                          choices=["", *fairness_names(), "all"],
                          help="run the skewed-trace fairness comparison under "
                               "this cluster fairness policy (plus the FIFO "
                               "baseline; 'all' sweeps every built-in policy) "
                               "instead of the Poisson contention experiment")
+    cluster.add_argument("--placement", default="",
+                         choices=["", *placement_names(), "all"],
+                         help="run the skewed-trace placement comparison "
+                              "under this placement policy (plus the manual "
+                              "and all-dims baselines; 'all' sweeps every "
+                              "built-in policy) instead of the Poisson "
+                              "contention experiment")
     cluster.add_argument("--show-spec", action="store_true",
                          help="print the scenario spec this run maps to")
 

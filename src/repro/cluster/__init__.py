@@ -3,9 +3,11 @@
 Extends the single-collective / single-job reproduction to the setting real
 clusters face (CASSINI, Themis-fair): many jobs whose collectives contend
 for the same network dimensions, with per-job scheduler choice, priorities,
-communicator dim-subsets, Poisson (or explicit) arrival traces, and
-pluggable cluster-level fairness policies (weighted bandwidth shares,
-finish-time fairness, priority preemption — see ``fairness``).
+communicator dim-subsets, Poisson (or explicit) arrival traces, pluggable
+cluster-level fairness policies (weighted bandwidth shares, finish-time
+fairness, priority preemption — see ``fairness``), and pluggable automatic
+job placement (load-balanced bin-packing, CASSINI-style comm-phase
+interleaving — see ``placement``).
 """
 
 from .fairness import (
@@ -20,6 +22,16 @@ from .fairness import (
 )
 from .jobs import JOB_SCHEDULERS, JobSpec, poisson_trace
 from .metrics import ClusterReport, JobOutcome
+from .placement import (
+    AllDimsPlacement,
+    InterleavedPlacement,
+    LoadBalancedPlacement,
+    ManualPlacement,
+    PlacementPolicy,
+    get_placement,
+    placement_names,
+    register_placement,
+)
 from .simulator import ClusterConfig, ClusterSimulator, isolated_jct, run_cluster
 
 __all__ = [
@@ -40,4 +52,12 @@ __all__ = [
     "get_fairness",
     "fairness_names",
     "register_fairness",
+    "PlacementPolicy",
+    "ManualPlacement",
+    "AllDimsPlacement",
+    "LoadBalancedPlacement",
+    "InterleavedPlacement",
+    "get_placement",
+    "placement_names",
+    "register_placement",
 ]

@@ -43,10 +43,26 @@ class JobOutcome:
     #: The job's completion time when run alone on the same platform with
     #: the same scheduler; ``None`` when the isolated baseline was skipped.
     isolated_time: float | None = None
+    #: Dimension subset the job's communicators spanned (``None`` = all
+    #: platform dimensions) — the placement decision made at arrival.
+    placement: tuple[int, ...] | None = None
+    #: False only when a truncated run cut the job before its arrival, so
+    #: no placement was ever decided (``placement`` then echoes the spec's
+    #: hand-declared dims).
+    placed: bool = True
 
     @property
     def finished(self) -> bool:
         return self.finish_time is not None
+
+    @property
+    def placement_label(self) -> str:
+        """Compact dims label for tables (``all``, ``0+2``, or ``?``)."""
+        if not self.placed:
+            return "?"
+        if self.placement is None:
+            return "all"
+        return "+".join(str(d) for d in self.placement)
 
     @property
     def jct(self) -> float | None:
@@ -95,6 +111,13 @@ class ClusterReport:
     #: ``describe()`` of the fairness policy in force (``None`` = default
     #: first-come sharing with no policy object attached).
     fairness_name: str | None = None
+    #: ``describe()`` of the placement policy in force (``None`` = default
+    #: hand placement with no policy object attached).
+    placement_name: str | None = None
+    #: Per-dimension busy seconds of the shared network (wire-occupancy
+    #: time), the basis of the load-imbalance metric; empty when no
+    #: communication happened.
+    dim_load: tuple[float, ...] = ()
     #: Batch preemptions across all dimensions (non-zero only under the
     #: priority-preemption fairness policy).
     preemption_count: int = 0
@@ -164,6 +187,23 @@ class ClusterReport:
         return self.max_slowdown
 
     @property
+    def load_imbalance(self) -> float | None:
+        """Max-to-mean ratio of per-dimension busy seconds.
+
+        1.0 means every dimension carried the same wire time; D (the
+        dimension count) means one dimension carried everything.  ``None``
+        when no communication happened.  Automatic placement should pull
+        this toward 1.0 while also improving JCT/makespan — spreading load
+        is the mechanism, not the goal.
+        """
+        if not self.dim_load:
+            return None
+        mean = sum(self.dim_load) / len(self.dim_load)
+        if mean <= 0:
+            return None
+        return max(self.dim_load) / mean
+
+    @property
     def jains_fairness_index(self) -> float | None:
         """Jain's index over the per-job rhos (1.0 = perfectly fair).
 
@@ -188,6 +228,7 @@ class ClusterReport:
                     job.name,
                     job.workload_name,
                     job.scheduler_name,
+                    job.placement_label,
                     job.arrival_time,
                     job.jct if job.jct is not None else float("nan"),
                     job.isolated_time if job.isolated_time is not None else float("nan"),
@@ -197,6 +238,8 @@ class ClusterReport:
         header = f"cluster on {self.topology_name}: {len(self.jobs)} job(s)"
         if self.fairness_name is not None:
             header += f", fairness: {self.fairness_name}"
+        if self.placement_name is not None:
+            header += f", placement: {self.placement_name}"
         if self.truncated:
             header += (
                 f" [TRUNCATED at {fmt_time(self.truncated_at or 0.0)}: "
@@ -205,10 +248,10 @@ class ClusterReport:
         lines = [
             header,
             format_table(
-                ["job", "workload", "sched", "arrival", "JCT",
+                ["job", "workload", "sched", "dims", "arrival", "JCT",
                  "isolated", "rho"],
                 rows,
-                [str, str, str, ms, ms, ms, ratio],
+                [str, str, str, str, ms, ms, ms, ratio],
                 indent="  ",
             ),
             f"  makespan {fmt_time(self.makespan)}, "
@@ -224,6 +267,14 @@ class ClusterReport:
             )
         if self.preemption_count:
             lines.append(f"  preemptions: {self.preemption_count}")
+        if self.load_imbalance is not None:
+            per_dim = ", ".join(
+                f"dim{i + 1}={fmt_time(t)}" for i, t in enumerate(self.dim_load)
+            )
+            lines.append(
+                f"  dimension load (busy time): {per_dim}; "
+                f"imbalance (max/mean) {self.load_imbalance:.2f}"
+            )
         if self.utilization is not None:
             per_dim = ", ".join(
                 f"dim{i + 1}={pct(u)}" for i, u in enumerate(self.utilization.per_dim)

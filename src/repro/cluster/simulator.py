@@ -21,7 +21,7 @@ same platform with the same per-job configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from ..core.scheduler import SchedulerFactory
 from ..core.splitter import Splitter
@@ -35,6 +35,7 @@ from ..training.results import IterationBreakdown
 from .fairness import FairnessPolicy, get_fairness
 from .jobs import JobSpec
 from .metrics import ClusterReport, JobOutcome
+from .placement import PlacementPolicy, get_placement
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,15 @@ class ClusterConfig:
     configured :class:`FairnessPolicy` instance, or ``None`` for the
     default first-come sharing.
 
+    ``placement`` selects which dimension subset each arriving job's
+    communicators span: a registry name (``"manual"``, ``"all-dims"``,
+    ``"load-balanced"``, ``"interleaved"``), a configured
+    :class:`PlacementPolicy` instance, or ``None`` for the default hand
+    placement (honor ``JobSpec.dim_indices``, today's behavior).  The
+    decision is made *at the job's arrival event* — automatic policies read
+    the shared network's live load — and recorded per job in the
+    :class:`ClusterReport`.
+
     ``record_ops`` defaults to False for cluster runs: per-op
     :class:`OpRecord` collection grows without bound across hundreds of
     jobs and no cluster metric reads it.  Turn it on to inspect shared-
@@ -68,6 +78,7 @@ class ClusterConfig:
     training: TrainingConfig | None = None
     isolated_baselines: bool = True
     fairness: FairnessPolicy | str | None = None
+    placement: PlacementPolicy | str | None = None
     record_ops: bool = False
     optimized: bool = True
 
@@ -78,11 +89,22 @@ class _JobDriver:
     The loop's step generator is pulled synchronously until it either
     computes (resume scheduled ``duration`` later) or waits on a collective
     that has not completed (resume from the completion callback).
+
+    ``on_arrival`` is invoked at the job's arrival event, *before* its
+    first iteration begins — the cluster binds the job's
+    :class:`TrainingLoop` there, so placement policies can read the shared
+    network's live state at the arrival instant.
     """
 
-    def __init__(self, spec: JobSpec, engine: EventQueue) -> None:
+    def __init__(
+        self,
+        spec: JobSpec,
+        engine: EventQueue,
+        on_arrival: "Callable[[_JobDriver], None]",
+    ) -> None:
         self.spec = spec
         self.engine = engine
+        self.on_arrival = on_arrival
         self.loop: TrainingLoop | None = None
         self.iterations: list[IterationBreakdown] = []
         self.finish_time: float | None = None
@@ -99,7 +121,11 @@ class _JobDriver:
         self.loop = loop
 
     def start(self) -> None:
-        self.engine.schedule(self.spec.arrival_time, self._begin_iteration)
+        self.engine.schedule(self.spec.arrival_time, self._arrive)
+
+    def _arrive(self) -> None:
+        self.on_arrival(self)
+        self._begin_iteration()
 
     # --- driving ------------------------------------------------------------
     def _begin_iteration(self) -> None:
@@ -167,12 +193,17 @@ class ClusterSimulator:
         self.config = config or ClusterConfig()
         self.training_config = self.config.training or TrainingConfig()
         self.fairness = get_fairness(self.config.fairness)
+        self.placement = get_placement(self.config.placement)
+        #: ``job name -> assigned dimension subset`` (``None`` = all dims),
+        #: filled at each job's arrival event.  Jobs a truncated run cut
+        #: before arrival are absent.
+        self.placements: dict[str, tuple[int, ...] | None] = {}
         self._isolated_cache = isolated_cache if isolated_cache is not None else {}
         self.engine = EventQueue(cancellation=self.config.optimized)
-        splitter = Splitter(self.training_config.chunks_per_collective)
+        self._splitter = Splitter(self.training_config.chunks_per_collective)
         self.network = NetworkSimulator(
             topology,
-            scheduler=SchedulerFactory("themis", splitter=splitter),
+            scheduler=SchedulerFactory("themis", splitter=self._splitter),
             policy=self.training_config.policy,
             fusion=self.training_config.fusion,
             engine=self.engine,
@@ -180,41 +211,81 @@ class ClusterSimulator:
             indexed_queues=self.config.optimized,
             plan_cache=self.config.optimized,
         )
-        self._drivers: list[_JobDriver] = []
-        for spec in self.jobs:
-            driver = _JobDriver(spec, self.engine)
-            loop = TrainingLoop(
-                spec.resolve_workload(),
-                topology,
-                self.network,
-                self.engine,
-                self.training_config,
-                scheduler_factory=SchedulerFactory(
-                    spec.scheduler, splitter=splitter
-                ),
-                dim_indices=spec.dim_indices,
-                priority_boost=spec.priority,
-                owner=spec.name,
-                on_collective_complete=driver.collective_done,
-            )
-            driver.bind(loop)
-            self._drivers.append(driver)
+        self._drivers = [
+            _JobDriver(spec, self.engine, self._admit) for spec in self.jobs
+        ]
 
     @property
     def drivers(self) -> list[_JobDriver]:
         """Per-job drivers (fairness policies read progress from these)."""
         return self._drivers
 
+    def _admit(self, driver: _JobDriver) -> None:
+        """Arrival event: place the job, then build and bind its loop.
+
+        Placement happens here — not at construction time — so automatic
+        policies see the shared network exactly as the job would: live
+        outstanding bytes per dimension, which tenants are still running,
+        and what was assigned before it.  The loop construction itself
+        schedules no events, so with the default hand placement this is
+        bit-for-bit the pre-placement-layer timeline.
+        """
+        spec = driver.spec
+        if self.placement is None:
+            dims = spec.dim_indices
+        else:
+            dims = self.placement.place(spec, self)
+            if dims is not None:
+                dims = tuple(dims)
+                for dim_index in dims:
+                    if not 0 <= dim_index < len(self.topology.dims):
+                        raise ConfigError(
+                            f"placement policy assigned job {spec.name!r} "
+                            f"out-of-range dimension {dim_index} on a "
+                            f"{len(self.topology.dims)}D topology"
+                        )
+        self.placements[spec.name] = dims
+        loop = TrainingLoop(
+            spec.resolve_workload(),
+            self.topology,
+            self.network,
+            self.engine,
+            self.training_config,
+            scheduler_factory=SchedulerFactory(
+                spec.scheduler, splitter=self._splitter
+            ),
+            dim_indices=dims,
+            priority_boost=spec.priority,
+            owner=spec.name,
+            on_collective_complete=driver.collective_done,
+        )
+        driver.bind(loop)
+
+    def assigned_dims(self, spec: JobSpec) -> tuple[int, ...] | None:
+        """The dimension subset ``spec``'s communicators span (or will span).
+
+        The decided placement once the job has arrived; before that, the
+        hand-declared ``dim_indices`` — automatic policies decide only at
+        the arrival instant, so pre-arrival callers (the finish-time-fair
+        policy computing isolated baselines at t=0) see the hand placement.
+        """
+        if spec.name in self.placements:
+            return self.placements[spec.name]
+        return spec.dim_indices
+
     def isolated_time(self, spec: JobSpec) -> float:
         """Cached isolated JCT of ``spec`` (the rho / slowdown denominator).
 
-        Jobs with identical configuration share one isolated run.  A
-        registry name always resolves to the same workload; Workload
-        *instances* are keyed by content (name, batch, parallelism, layer
-        stack — everything the simulation reads), so reconstructed-but-
-        equal workloads (spec-driven sweeps rebuild them per point) still
-        share one baseline.  Priority, weight, and arrival are irrelevant
-        alone on the network, so they are not part of the key.
+        The solo run uses the job's *assigned* dimensions (see
+        :meth:`assigned_dims`) — rho compares shared vs alone on the same
+        slice of the platform.  Jobs with identical configuration share one
+        isolated run.  A registry name always resolves to the same
+        workload; Workload *instances* are keyed by content (name, batch,
+        parallelism, layer stack — everything the simulation reads), so
+        reconstructed-but-equal workloads (spec-driven sweeps rebuild them
+        per point) still share one baseline.  Priority, weight, and arrival
+        are irrelevant alone on the network, so they are not part of the
+        key.
         """
         workload = spec.workload
         if isinstance(workload, str):
@@ -227,14 +298,17 @@ class ClusterSimulator:
                 workload.dp_style,
                 tuple(workload.layers),
             )
+        dims = self.assigned_dims(spec)
         key = (
             workload_key,
             spec.scheduler.lower(),
             spec.iterations,
-            spec.dim_indices,
+            dims,
         )
         if key not in self._isolated_cache:
-            self._isolated_cache[key] = isolated_jct(self.topology, spec, self.config)
+            self._isolated_cache[key] = isolated_jct(
+                self.topology, replace(spec, dim_indices=dims), self.config
+            )
         return self._isolated_cache[key]
 
     def run(self, max_events: int | None = None) -> ClusterReport:
@@ -248,6 +322,8 @@ class ClusterSimulator:
         """
         if self.fairness is not None:
             self.fairness.prepare(self)
+        if self.placement is not None:
+            self.placement.prepare(self)
         for driver in self._drivers:
             driver.start()
         truncated = False
@@ -263,7 +339,11 @@ class ClusterSimulator:
                 f"{len(unfinished)} job(s) never completed: "
                 f"{', '.join(unfinished)}"
             )
-        submitted = sum(d.loop.collectives_issued for d in self._drivers)
+        submitted = sum(
+            d.loop.collectives_issued
+            for d in self._drivers
+            if d.loop is not None  # truncated runs may cut a job pre-arrival
+        )
         result = self.network.result() if submitted else None
         utilization = None
         comm_active = 0.0
@@ -286,6 +366,8 @@ class ClusterSimulator:
                         if result is not None
                         else 0.0
                     ),
+                    placement=self.assigned_dims(spec),
+                    placed=spec.name in self.placements,
                 )
             )
         if self.config.isolated_baselines:
@@ -299,6 +381,12 @@ class ClusterSimulator:
             fairness_name=(
                 self.fairness.describe() if self.fairness is not None else None
             ),
+            placement_name=(
+                self.placement.describe() if self.placement is not None else None
+            ),
+            dim_load=(
+                tuple(result.dim_busy_seconds) if result is not None else ()
+            ),
             preemption_count=self.network.preemption_count,
             truncated=truncated,
             truncated_at=self.engine.now if truncated else None,
@@ -310,12 +398,17 @@ def isolated_jct(
 ) -> float:
     """JCT of ``spec`` run alone on ``topology`` (the rho denominator).
 
-    Fairness policies are stripped for the solo run: alone on the network a
-    job gets full bandwidth under every discipline, and finish-time-fair
-    re-weighting would recurse into computing its own isolated baselines.
+    Fairness and placement policies are stripped for the solo run: alone on
+    the network a job gets full bandwidth under every discipline,
+    finish-time-fair re-weighting would recurse into computing its own
+    isolated baselines, and the caller has already baked the decided
+    placement into ``spec.dim_indices``.
     """
     solo_config = replace(
-        config or ClusterConfig(), isolated_baselines=False, fairness=None
+        config or ClusterConfig(),
+        isolated_baselines=False,
+        fairness=None,
+        placement=None,
     )
     solo = ClusterSimulator(topology, [spec.at_arrival(0.0)], solo_config)
     return solo.run().jobs[0].jct

@@ -15,6 +15,12 @@ from .fig10 import Fig10Result, run_fig10
 from .fig11 import Fig11Result, run_fig11
 from .fig12 import Fig12Result, run_fig12
 from .headline import PAPER_HEADLINES, HeadlineResult, run_headline
+from .placement import (
+    PLACEMENT_VARIANTS,
+    PlacementComparisonResult,
+    placement_trace,
+    run_placement_comparison,
+)
 
 __all__ = [
     "run_fig4",
@@ -31,6 +37,10 @@ __all__ = [
     "FairnessComparisonResult",
     "FAIRNESS_VARIANTS",
     "skewed_trace",
+    "run_placement_comparison",
+    "PlacementComparisonResult",
+    "PLACEMENT_VARIANTS",
+    "placement_trace",
     "Fig4Result",
     "Fig5Result",
     "Fig8Result",

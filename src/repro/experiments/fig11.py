@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from ..analysis.sweep import PAPER_SCHEDULERS, MicrobenchRecord, sweep
 from ..analysis.tables import format_table, pct
 from ..topology import paper_topologies
-from ..units import GB, MB
+from ..units import MB
 from .fig8 import DEFAULT_SIZES, QUICK_SIZES
 
 

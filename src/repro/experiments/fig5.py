@@ -15,7 +15,7 @@ from ..analysis.tables import format_table
 from ..collectives.phases import stage_plan
 from ..collectives.types import CollectiveRequest, CollectiveType
 from ..core.latency_model import LatencyModel
-from ..core.scheduler import BaselineScheduler, SchedulerFactory, ThemisScheduler
+from ..core.scheduler import SchedulerFactory, ThemisScheduler
 from ..core.splitter import Splitter
 from ..sim.executor import FusionConfig
 from ..sim.network import NetworkSimulator

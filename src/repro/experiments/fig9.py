@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.sweep import PAPER_SCHEDULERS, SchedulerConfig, run_collective
+from ..analysis.sweep import PAPER_SCHEDULERS, run_collective
 from ..analysis.tables import format_table, pct, us
 from ..sim.stats import dimension_activity_rates, mean_activity_rate
 from ..topology import get_topology

@@ -280,6 +280,12 @@ class DimensionChannel:
         self.queue.bind(self._op_is_eligible)
         self.busy = False
         self.stats = ChannelStats()
+        # Live outstanding load (enqueued but not yet completed work) — read
+        # at job-arrival time by the cluster placement policies.  Bytes are
+        # credited on enqueue and debited when the op's batch completes, so
+        # preempted/paused work correctly stays outstanding.
+        self._outstanding_bytes = 0.0
+        self._outstanding_owner_ops: dict[str, int] = {}
         # collective_seq -> remaining enforced op-key order for this channel.
         self.enforced_orders: dict[int, list[tuple[int, int, int]]] = {}
         self._active_since: float | None = None
@@ -330,6 +336,38 @@ class DimensionChannel:
         assert self.share_weights is not None
         return max(self.share_weights.get(owner, self.default_weight), _MIN_WEIGHT)
 
+    # --- outstanding load (placement signals) ------------------------------
+    @property
+    def outstanding_bytes(self) -> float:
+        """Bytes of enqueued-but-uncompleted work currently on this dimension.
+
+        Counts ready, running, and paused/preempted ops (their bytes are
+        still owed to the wire).  Ops of *later* stages of an in-flight
+        chunk are not included until their predecessor completes and they
+        are enqueued here.
+        """
+        return max(0.0, self._outstanding_bytes)
+
+    @property
+    def active_tenant_count(self) -> int:
+        """Distinct owners with outstanding (uncompleted) ops here."""
+        return len(self._outstanding_owner_ops)
+
+    def _track_enqueued(self, op: OpState) -> None:
+        self._outstanding_bytes += op.bytes_sent
+        self._outstanding_owner_ops[op.owner] = (
+            self._outstanding_owner_ops.get(op.owner, 0) + 1
+        )
+
+    def _track_completed(self, batch: list[OpState]) -> None:
+        for op in batch:
+            self._outstanding_bytes -= op.bytes_sent
+            count = self._outstanding_owner_ops.get(op.owner, 0) - 1
+            if count > 0:
+                self._outstanding_owner_ops[op.owner] = count
+            else:
+                self._outstanding_owner_ops.pop(op.owner, None)
+
     # --- activity tracking ------------------------------------------------
     @property
     def has_work(self) -> bool:
@@ -377,6 +415,7 @@ class DimensionChannel:
         op.ready_time = self.engine.now
         eligible = self._op_is_eligible(op)
         self.queue.push(op, eligible)
+        self._track_enqueued(op)
         self._update_activity()
         if (
             self.preemption_enabled
@@ -567,6 +606,7 @@ class DimensionChannel:
     def _complete(self, running: _RunningBatch, generation: int) -> None:
         if running.generation != generation:
             return  # segment was preempted before its transfer finished
+        self._track_completed(running.batch)
         self.on_batch_done(self, running.batch)
         self._update_activity()
         self.try_start()
@@ -648,6 +688,7 @@ class DimensionChannel:
         self.try_start()
 
     def _complete_flow(self, flow: _FlowState) -> None:
+        self._track_completed(flow.batch)
         self.on_batch_done(self, flow.batch)
         self._update_activity()
         self.try_start()

@@ -14,6 +14,7 @@ from .parallelism import (
     model_parallel_plan,
     split_leading_dims,
 )
+from .profile import CommComputeProfile, comm_compute_profile
 from .resnet import resnet152
 from .serialization import (
     layer_from_dict,
@@ -101,6 +102,8 @@ __all__ = [
     "get_workload",
     "workload_names",
     "register_workload",
+    "CommComputeProfile",
+    "comm_compute_profile",
     "layer_to_dict",
     "layer_from_dict",
     "workload_to_dict",

@@ -21,7 +21,6 @@ from repro.analysis import (
     sweep,
     us,
 )
-from repro.collectives import CollectiveType
 from repro.topology import Topology, dimension, get_topology
 from repro.units import MB
 

@@ -18,11 +18,9 @@ from repro.topology import Topology, dimension, get_topology, topology_to_dict
 from repro.training.iteration import TrainingConfig, simulate_training
 from repro.units import MB
 from repro.workloads import (
-    Workload,
     flood,
     get_workload,
     workload_from_dict,
-    workload_names,
     workload_to_dict,
 )
 
@@ -45,7 +43,7 @@ class TestRegistry:
     def test_kinds(self):
         assert set(api.registry_kinds()) == {
             "topology", "workload", "collective", "scheduler", "policy",
-            "fairness", "algorithm",
+            "fairness", "placement", "algorithm",
         }
 
     def test_keys_delegate_to_domain_registries(self):

@@ -80,6 +80,26 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--fairness", "karma"])
 
+    def test_cluster_placement(self, capsys):
+        """--placement switches to the skewed-trace placement comparison."""
+        code = main(["cluster", "--placement", "manual"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placement comparison" in out
+        assert "load imb" in out
+        assert "talker0" in out and "thinker0" in out
+
+    def test_cluster_placement_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--placement", "roundrobin"])
+
+    def test_cluster_placement_and_fairness_conflict(self, capsys):
+        code = main(
+            ["cluster", "--placement", "manual", "--fairness", "fifo"]
+        )
+        assert code == 1
+        assert "pick one" in capsys.readouterr().err
+
     def test_cluster_zero_jobs_names_the_flag(self, capsys):
         assert main(["cluster", "--jobs", "0"]) == 1
         assert "--jobs" in capsys.readouterr().err
@@ -174,6 +194,33 @@ class TestSpecCommands:
     def test_sweep_needs_axis(self, spec_path, capsys):
         assert main(["sweep", "--spec", spec_path]) == 1
         assert "--axis" in capsys.readouterr().err
+
+    def test_run_check_unknown_registry_key_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        """A misspelled registry key fails with did-you-mean, no traceback."""
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"schema": 1, "mode": "cluster", '
+            '"trace": {"workloads": ["dlrm"]}, "placement": "interleavd"}'
+        )
+        assert main(["run", "--spec", str(path), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "did you mean 'interleaved'" in err
+        assert "Traceback" not in err
+
+    def test_run_check_non_string_registry_key_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"schema": 1, "mode": "cluster", '
+            '"trace": {"workloads": ["dlrm"]}, "placement": 5}'
+        )
+        assert main(["run", "--spec", str(path), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "placement key must be a string" in err
+        assert "Traceback" not in err
 
     def test_every_shipped_spec_checks(self, capsys):
         import glob

@@ -13,7 +13,6 @@ from repro.collectives import (
     HalvingDoublingAlgorithm,
     PhaseOp,
     RingAlgorithm,
-    Stage,
     TreeAlgorithm,
     algorithm_for_dimension,
     algorithms_for_topology,
@@ -25,7 +24,7 @@ from repro.collectives import (
     validate_dim_order,
 )
 from repro.errors import CollectiveError, ScheduleError
-from repro.topology import DimensionKind, Topology, dimension
+from repro.topology import dimension
 from repro.units import MB
 
 

@@ -7,7 +7,6 @@ import pytest
 from repro.collectives import CollectiveType
 from repro.errors import WorkloadError
 from repro.topology import get_topology, paper_topologies
-from repro.units import MB
 from repro.workloads import (
     CommScope,
     ComputeModel,
