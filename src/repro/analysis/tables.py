@@ -7,7 +7,7 @@ right-aligned numbers, optional per-column formatters).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 
 def format_table(

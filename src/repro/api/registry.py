@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from ..cluster import fairness as _fairness
 from ..cluster import placement as _placement

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from ..analysis.tables import format_table
 from ..errors import SpecError

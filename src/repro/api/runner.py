@@ -12,11 +12,13 @@ variants, optionally on a process pool.
 from __future__ import annotations
 
 import copy
+import functools
 import itertools
 import json
 import time
+from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Mapping, Sequence
+from typing import Any
 
 from ..analysis.provisioning import assess
 from ..collectives.types import CollectiveRequest, CollectiveType
@@ -49,13 +51,18 @@ def scheduler_label(scheduler: str, policy: str) -> str:
     return f"Themis+{policy.upper()}"
 
 
-def _run_collective(spec: CollectiveScenario, context: dict | None = None) -> RunReport:
+def _run_collective(
+    spec: CollectiveScenario,
+    context: dict | None = None,
+    audit: bool | None = None,
+) -> RunReport:
     topology = resolve_topology(spec.topology)
     ctype = CollectiveType.from_name(spec.collective)
     sim = NetworkSimulator(
         topology,
         SchedulerFactory(spec.scheduler, splitter=Splitter(spec.chunks)),
         policy=spec.policy,
+        audit=audit,
     )
     sim.submit(CollectiveRequest(ctype, spec.size))
     truncated = False
@@ -93,7 +100,11 @@ def _run_collective(spec: CollectiveScenario, context: dict | None = None) -> Ru
     )
 
 
-def _run_training(spec: TrainingScenario, context: dict | None = None) -> RunReport:
+def _run_training(
+    spec: TrainingScenario,
+    context: dict | None = None,
+    audit: bool | None = None,
+) -> RunReport:
     workload = resolve_workload(spec.workload, spec.workload_args)
     topology = resolve_topology(spec.topology)
     config = TrainingConfig(
@@ -109,6 +120,7 @@ def _run_training(spec: TrainingScenario, context: dict | None = None) -> RunRep
         scheduler=spec.scheduler,
         config=config,
         ideal_network=spec.ideal_network,
+        audit=audit,
     )
     report = sim.run()
     per_dim = None
@@ -147,7 +159,11 @@ def _run_training(spec: TrainingScenario, context: dict | None = None) -> RunRep
     )
 
 
-def _run_cluster(spec: ClusterScenario, context: dict | None = None) -> RunReport:
+def _run_cluster(
+    spec: ClusterScenario,
+    context: dict | None = None,
+    audit: bool | None = None,
+) -> RunReport:
     from ..cluster import ClusterConfig, ClusterSimulator, WeightedSharing
 
     topology = resolve_topology(spec.topology)
@@ -171,6 +187,7 @@ def _run_cluster(spec: ClusterScenario, context: dict | None = None) -> RunRepor
         fairness=fairness,
         placement=spec.placement,
         record_ops=spec.record_ops,
+        audit=audit,
     )
     isolated_cache = None
     if context is not None:
@@ -239,7 +256,11 @@ def _run_cluster(spec: ClusterScenario, context: dict | None = None) -> RunRepor
     )
 
 
-def _run_provisioning(spec: ProvisioningScenario, context: dict | None = None) -> RunReport:
+def _run_provisioning(
+    spec: ProvisioningScenario,
+    context: dict | None = None,
+    audit: bool | None = None,
+) -> RunReport:
     topology = resolve_topology(spec.topology)
     ctype = CollectiveType.from_name(spec.collective)
     report = assess(topology, tolerance=spec.tolerance, ctype=ctype)
@@ -276,7 +297,10 @@ _RUNNERS = {
 
 
 def run(
-    spec: "ScenarioSpec | dict", *, context: dict | None = None
+    spec: "ScenarioSpec | dict",
+    *,
+    context: dict | None = None,
+    audit: bool | None = None,
 ) -> RunReport:
     """Run any scenario spec (or its dict form) and report uniformly.
 
@@ -284,6 +308,12 @@ def run(
     :func:`sweep` passes one per grid so policy-independent intermediate
     results (currently the cluster isolated-JCT baselines) are computed
     once instead of once per point.
+
+    ``audit=True`` enables the runtime invariant auditor
+    (:mod:`repro.sim.audit`) for this run; ``None`` (default) defers to the
+    ``THEMIS_AUDIT`` environment variable.  Auditing is observer-only — the
+    reported timeline is bit-identical with it on or off — and a violated
+    invariant raises :class:`~repro.sim.audit.InvariantViolation`.
     """
     if isinstance(spec, dict):
         spec = spec_from_dict(spec)
@@ -294,14 +324,14 @@ def run(
             f"known: {', '.join(cls.__name__ for cls in _RUNNERS)}"
         )
     start = time.perf_counter()
-    report = runner(spec, context)
+    report = runner(spec, context, audit)
     report.wall_time = time.perf_counter() - start
     return report
 
 
-def _run_spec_payload(data: dict) -> dict:
+def _run_spec_payload(data: dict, audit: bool | None = None) -> dict:
     """Process-pool worker: run a spec dict, return the report dict."""
-    return run(spec_from_dict(data)).to_dict()
+    return run(spec_from_dict(data), audit=audit).to_dict()
 
 
 def _normalize_axes(
@@ -334,6 +364,7 @@ def sweep(
     base_spec: "ScenarioSpec | dict",
     axes: Mapping[Any, Sequence[Any]],
     processes: int | None = None,
+    audit: bool | None = None,
 ) -> SweepResult:
     """Run the cartesian grid of ``base_spec`` with ``axes`` overridden.
 
@@ -371,12 +402,15 @@ def sweep(
 
     points: list[SweepPoint] = []
     if processes is not None and processes > 1 and len(grid) > 1:
+        worker = functools.partial(_run_spec_payload, audit=audit)
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            results = list(pool.map(_run_spec_payload, (d for d, _, _ in grid)))
+            results = list(pool.map(worker, (d for d, _, _ in grid)))
         for (_, _, overrides), result in zip(grid, results):
             points.append(SweepPoint(overrides, RunReport.from_dict(result)))
     else:
         shared_context: dict = {}
         for _, spec, overrides in grid:
-            points.append(SweepPoint(overrides, run(spec, context=shared_context)))
+            points.append(
+                SweepPoint(overrides, run(spec, context=shared_context, audit=audit))
+            )
     return SweepResult(base=base, axes=normalized, points=points)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from . import api
 from .analysis.tables import format_table, ms, pct
@@ -104,7 +104,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.check:
         print(f"spec OK: {type(spec).__name__} from {args.spec}")
         return 0
-    _emit_report(api.run(spec), args.json)
+    _emit_report(api.run(spec, audit=args.audit or None), args.json)
     return 0
 
 
@@ -115,7 +115,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     axes = _parse_axis_flags(args.axis)
     if not axes:
         raise ReproError("sweep needs at least one --axis")
-    result = api.sweep(spec, axes, processes=args.processes)
+    result = api.sweep(spec, axes, processes=args.processes, audit=args.audit or None)
     if args.json:
         print(result.to_json())
     else:
@@ -383,6 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the effective spec JSON before running")
     run_cmd.add_argument("--json", action="store_true",
                          help="emit the RunReport as JSON")
+    run_cmd.add_argument("--audit", action="store_true",
+                         help="enable the runtime invariant auditor "
+                              "(equivalent to THEMIS_AUDIT=1)")
 
     sweep_cmd = sub.add_parser(
         "sweep", help="run a grid of scenario variants from a base spec"
@@ -400,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run grid points on a process pool")
     sweep_cmd.add_argument("--json", action="store_true",
                            help="emit the SweepResult as JSON")
+    sweep_cmd.add_argument("--audit", action="store_true",
+                           help="enable the runtime invariant auditor on "
+                                "every grid point (THEMIS_AUDIT=1)")
 
     sub.add_parser("topologies", help="list Table 2 topology presets")
 

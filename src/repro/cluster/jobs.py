@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..errors import ConfigError
 from ..workloads import get_workload

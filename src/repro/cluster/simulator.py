@@ -21,11 +21,12 @@ same platform with the same per-job configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
 
 from ..core.scheduler import SchedulerFactory
 from ..core.splitter import Splitter
 from ..errors import ConfigError, DeadlockError, EventBudgetError
+from ..sim.audit import InvariantViolation
 from ..sim.engine import EventQueue
 from ..sim.network import CollectiveResult, NetworkSimulator
 from ..sim.stats import bw_utilization
@@ -81,6 +82,10 @@ class ClusterConfig:
     placement: PlacementPolicy | str | None = None
     record_ops: bool = False
     optimized: bool = True
+    #: Runtime invariant auditing (repro.sim.audit): ``True``/``False``
+    #: force it on/off; ``None`` defers to ``THEMIS_AUDIT``.  Observer-only
+    #: — the timeline is bit-identical either way.
+    audit: bool | None = None
 
 
 class _JobDriver:
@@ -210,6 +215,7 @@ class ClusterSimulator:
             record_ops=self.config.record_ops,
             indexed_queues=self.config.optimized,
             plan_cache=self.config.optimized,
+            audit=self.config.audit,
         )
         self._drivers = [
             _JobDriver(spec, self.engine, self._admit) for spec in self.jobs
@@ -311,6 +317,36 @@ class ClusterSimulator:
             )
         return self._isolated_cache[key]
 
+    def _audit_outcomes(self) -> None:
+        """End-of-run cluster invariants (only with auditing enabled).
+
+        Every finished job must finish no earlier than it arrived and must
+        have run exactly its configured iteration count — a driver that
+        books extra (or loses) iterations would silently skew JCT and
+        slowdown metrics.
+        """
+        auditor = self.network.auditor
+        assert auditor is not None
+        for driver in self._drivers:
+            auditor.checks_run += 1
+            spec = driver.spec
+            if driver.finish_time is None:
+                continue
+            if driver.finish_time < spec.arrival_time:
+                raise InvariantViolation(
+                    "job-causality",
+                    f"job {spec.name!r} finished before it arrived",
+                    time=driver.finish_time,
+                    context={"arrival": spec.arrival_time},
+                )
+            if len(driver.iterations) != spec.iterations:
+                raise InvariantViolation(
+                    "job-iterations",
+                    f"job {spec.name!r} recorded {len(driver.iterations)} "
+                    f"iteration(s), expected {spec.iterations}",
+                    time=driver.finish_time,
+                )
+
     def run(self, max_events: int | None = None) -> ClusterReport:
         """Run all jobs to completion and collect per-job/cluster metrics.
 
@@ -339,6 +375,8 @@ class ClusterSimulator:
                 f"{len(unfinished)} job(s) never completed: "
                 f"{', '.join(unfinished)}"
             )
+        if self.network.auditor is not None:
+            self._audit_outcomes()
         submitted = sum(
             d.loop.collectives_issued
             for d in self._drivers

@@ -10,7 +10,7 @@ in-network-offload model per Sec. 4.5).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import CollectiveError
 from ..topology import DimensionKind, DimensionSpec, Topology

@@ -11,7 +11,7 @@ dimension order, and the fully-sized list of stages; a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..collectives.phases import Stage, stage_plan
 from ..collectives.types import CollectiveRequest, CollectiveType

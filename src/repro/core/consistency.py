@@ -28,8 +28,10 @@ from ..topology import Topology
 from .chunk import CollectivePlan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..collectives.types import CollectiveRequest
     from ..core.policies import IntraDimPolicy
     from ..sim.executor import FusionConfig
+    from .latency_model import LatencyModel
 
 OpKey = tuple[int, int, int]
 
@@ -67,7 +69,13 @@ def presimulate_intra_dim_orders(
             class _Replay:
                 name = plan_to_replay.scheduler_name or "replay"
 
-                def plan(self, request, subtopo, model=None, issue_time=0.0):
+                def plan(
+                    self,
+                    request: "CollectiveRequest",
+                    subtopo: Topology,
+                    model: "LatencyModel | None" = None,
+                    issue_time: float = 0.0,
+                ) -> CollectivePlan:
                     return plan_to_replay
 
             return _Replay()

@@ -97,7 +97,13 @@ class ExhaustiveScheduler(CollectiveScheduler):
                 class _Fixed:
                     name = "Exhaustive"
 
-                    def plan(self, _request, _topo, _model=None, issue_time=0.0):
+                    def plan(
+                        self,
+                        _request: CollectiveRequest,
+                        _topo: Topology,
+                        _model: "LatencyModel | None" = None,
+                        issue_time: float = 0.0,
+                    ) -> CollectivePlan:
                         return outer
 
                 return _Fixed()

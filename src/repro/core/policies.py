@@ -25,7 +25,8 @@ linear ``select(list)`` scan — which remains available for compatibility
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigError
 from .ready_queue import IndexedReadyQueue, ListReadyQueue, ReadyQueue

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import abc
 import heapq
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..sim.executor import OpState
@@ -240,10 +241,13 @@ class IndexedReadyQueue(ReadyQueue):
         return self._live + len(self._parked)
 
     def __iter__(self) -> Iterator["OpState"]:
-        seen: set[int] = set()
+        # Dedup on the stable op identity, not id(): stale heap entries for
+        # the same op must collapse, and address-based keys would make the
+        # iteration (and anything ordered by it) vary run to run.
+        seen: set[tuple[int, int, int]] = set()
         for _key, op in self._heap.entries:
-            if op.queued and id(op) not in seen:
-                seen.add(id(op))
+            if op.queued and op.key not in seen:
+                seen.add(op.key)
                 yield op
         yield from self._parked.values()
 

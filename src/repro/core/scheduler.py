@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 
-from ..collectives.phases import stage_plan
+from ..collectives.phases import Stage, stage_plan
 from ..collectives.types import CollectiveRequest, CollectiveType, PhaseOp
 from ..errors import ScheduleError
 from ..topology import Topology
@@ -216,9 +216,9 @@ class ThemisScheduler(CollectiveScheduler):
         tracker: DimLoadTracker,
         model: LatencyModel,
         order: tuple[int, ...],
-        stages,
+        stages: list[Stage],
         loads: list[float],
-    ):
+    ) -> tuple[tuple[int, ...], list[Stage], list[float]]:
         """Fall back to the baseline order if the reroute overshoots."""
         baseline = baseline_dim_order(probe_ctype, tracker.ndims)
         if order == baseline:

@@ -1,0 +1,22 @@
+"""repro.devtools — correctness tooling for the simulator codebase.
+
+Two machine-checked guarantees back the repo's determinism and
+conservation claims (see ``docs/correctness.md``):
+
+* :mod:`repro.devtools.replint` — a repo-specific AST lint pack that
+  forbids nondeterminism sources (wall-clock reads, unseeded RNG, set
+  iteration, ``id()`` keys, float time equality, frozen-spec mutation,
+  mutable default arguments) in simulator code at review time.  Run it
+  with ``python -m repro.devtools.replint src/`` or the ``themis-lint``
+  console script.
+* :mod:`repro.sim.audit` — the runtime :class:`~repro.sim.audit.
+  InvariantAuditor` sanitizer that checks conservation laws while a
+  simulation runs (opt-in; see ``THEMIS_AUDIT``).
+
+This package is import-light on purpose: nothing here is imported by the
+simulation hot path.
+"""
+
+from .replint import RULES, Finding, lint_paths, lint_source
+
+__all__ = ["Finding", "RULES", "lint_paths", "lint_source"]

@@ -1,0 +1,35 @@
+"""replint — AST lint pack for deterministic simulator code.
+
+Usage::
+
+    python -m repro.devtools.replint src/            # lint a tree
+    themis-lint --list-rules                         # rule catalog
+    themis-lint --select RPL001,RPL005 src/repro/sim # subset of rules
+
+See :mod:`repro.devtools.replint.rules` for the rule catalog and
+``docs/correctness.md`` for the rationale behind each rule.
+"""
+
+from .cli import main
+from .engine import (
+    SIM_PATH_MARKERS,
+    Finding,
+    LintResult,
+    Rule,
+    is_sim_path,
+    lint_paths,
+    lint_source,
+)
+from .rules import RULES
+
+__all__ = [
+    "RULES",
+    "SIM_PATH_MARKERS",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "is_sim_path",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

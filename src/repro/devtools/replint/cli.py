@@ -1,0 +1,103 @@
+"""Command-line front end for replint (also the ``themis-lint`` script)."""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from .engine import lint_paths
+from .rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="themis-lint",
+        description=(
+            "replint: repo-specific determinism and safety lints for the "
+            "Themis simulator code"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (e.g. RPL001,RPL005)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON instead of text",
+    )
+    parser.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit fix hints from text output",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        scope = "sim-only" if rule.sim_only else "repo-wide"
+        lines.append(f"{code}  {rule.name}  [{scope}]")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths or ["src"]
+    select: list[str] | None = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        unknown = [code for code in select if code not in RULES]
+        if unknown:
+            parser.error(
+                "unknown rule code(s): "
+                + ", ".join(unknown)
+                + " (see --list-rules)"
+            )
+
+    result = lint_paths(paths, select=select)
+
+    if args.json:
+        print(result.to_json())
+        return result.exit_code
+
+    for finding in result.findings:
+        print(finding.render(show_hint=not args.no_hints))
+    for error in result.errors:
+        print(f"error: {error}")
+    tail = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files_checked} file(s) checked"
+    )
+    if result.files_skipped:
+        tail += f", {result.files_skipped} skipped"
+    print(tail)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

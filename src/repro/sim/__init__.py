@@ -1,6 +1,7 @@
 """Discrete-event network simulation substrate."""
 
-from .engine import EventHandle, EventQueue
+from .audit import InvariantAuditor, InvariantViolation, audit_from_env, resolve_audit
+from .engine import EventHandle, EventQueue, times_close
 from .executor import ChannelStats, DimensionChannel, FusionConfig, OpState
 from .network import (
     CollectiveResult,
@@ -20,6 +21,11 @@ from .timeline import Interval, OpRecord, merge_intervals, render_gantt, total_l
 __all__ = [
     "EventQueue",
     "EventHandle",
+    "times_close",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "audit_from_env",
+    "resolve_audit",
     "FusionConfig",
     "OpState",
     "DimensionChannel",

@@ -30,14 +30,30 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..errors import EventBudgetError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .audit import InvariantAuditor
 
 #: Relative past-time tolerance: ~5000 ulps at any magnitude, which absorbs
 #: accumulated float round-off in long event chains without masking real
 #: scheduling-in-the-past bugs (those are off by whole transfer times).
 _PAST_RTOL = 1e-12
+
+
+def times_close(a: float, b: float, rtol: float = _PAST_RTOL) -> bool:
+    """Whether two simulated timestamps coincide up to float round-off.
+
+    The sanctioned way to compare timestamps for equality: simulated times
+    are sums of float transfer/latency terms, so two events "at the same
+    instant" may differ by accumulated round-off.  Uses the same relative
+    tolerance as the engine's past-time guard (replint rule RPL005 points
+    here).
+    """
+    return abs(a - b) <= rtol * max(1.0, abs(a), abs(b))
 
 
 class EventHandle:
@@ -98,6 +114,10 @@ class EventQueue:
         self.peak_pending = 0
         self.cancelled_events = 0
         self.compactions = 0
+        #: Optional runtime invariant auditor (see :mod:`repro.sim.audit`).
+        #: A pure observer, consulted behind ``is not None`` guards, so the
+        #: timeline is bit-identical whether or not one is attached.
+        self.auditor: "InvariantAuditor | None" = None
 
     @property
     def events_processed(self) -> int:
@@ -125,6 +145,8 @@ class EventQueue:
         history and mask bugs in the callers.  Times within float round-off
         of ``now`` (see :meth:`past_tolerance`) are clamped to ``now``.
         """
+        if self.auditor is not None:
+            self.auditor.on_event_scheduled(self, time)
         if time < self.now - self.past_tolerance():
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self.now}"
@@ -184,6 +206,8 @@ class EventQueue:
         if not self._heap:
             return False
         time, _seq, handle = heapq.heappop(self._heap)
+        if self.auditor is not None:
+            self.auditor.on_event_fire(self, time, handle)
         self.now = time
         self._events_processed += 1
         handle.fired = True

@@ -38,8 +38,9 @@ fairness disciplines beyond the default serial (first-come) service
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from ..collectives.phases import Stage
 from ..core.policies import IntraDimPolicy
@@ -49,8 +50,8 @@ from ..topology import DimensionSpec
 from .engine import EventHandle, EventQueue
 from .timeline import Interval, OpRecord
 
-if TYPE_CHECKING:  # pragma: no cover
-    pass
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .audit import InvariantAuditor
 
 
 @dataclass(frozen=True)
@@ -298,6 +299,9 @@ class DimensionChannel:
         self._flows: dict[str, _FlowState] = {}
         self._running: _RunningBatch | None = None
         self._paused: list[_RunningBatch] = []
+        #: Optional runtime invariant auditor (see :mod:`repro.sim.audit`).
+        #: Observer-only; attached by ``NetworkSimulator(audit=True)``.
+        self.auditor: "InvariantAuditor | None" = None
 
     # --- fairness configuration -------------------------------------------
     def set_share_weights(
@@ -416,6 +420,8 @@ class DimensionChannel:
         eligible = self._op_is_eligible(op)
         self.queue.push(op, eligible)
         self._track_enqueued(op)
+        if self.auditor is not None:
+            self.auditor.on_enqueue(self, op)
         self._update_activity()
         if (
             self.preemption_enabled
@@ -506,6 +512,8 @@ class DimensionChannel:
             op.start_time = now
         self.stats.op_count += len(batch)
         self.stats.batch_count += 1
+        if self.auditor is not None:
+            self.auditor.on_batch_start(self, batch)
         self._start_segment(_RunningBatch(batch, fixed, transfer))
 
     def _start_segment(self, running: _RunningBatch) -> None:
@@ -575,6 +583,8 @@ class DimensionChannel:
         self._running = None
         self._paused.append(running)
         self.preemption_count += 1
+        if self.auditor is not None:
+            self.auditor.on_preempt(self, running)
         self._update_activity()
 
     def _best_paused(self) -> _RunningBatch | None:
@@ -607,6 +617,8 @@ class DimensionChannel:
         if running.generation != generation:
             return  # segment was preempted before its transfer finished
         self._track_completed(running.batch)
+        if self.auditor is not None:
+            self.auditor.on_batch_complete(self, running.batch)
         self.on_batch_done(self, running.batch)
         self._update_activity()
         self.try_start()
@@ -635,6 +647,8 @@ class DimensionChannel:
         self.stats.bytes_sent += sum(op.bytes_sent for op in batch)
         self.stats.op_count += len(batch)
         self.stats.batch_count += 1
+        if self.auditor is not None:
+            self.auditor.on_batch_start(self, batch)
         flow = _FlowState(batch, batch[0].owner, fixed, transfer)
         flow.last_update = now
         self._flows[flow.owner] = flow
@@ -672,6 +686,8 @@ class DimensionChannel:
                     flow, generation
                 ),
             )
+        if self.auditor is not None:
+            self.auditor.on_flows_rescheduled(self, self._flows)
 
     def _finish_flow(self, flow: _FlowState, generation: int) -> None:
         if flow.generation != generation:
@@ -689,6 +705,8 @@ class DimensionChannel:
 
     def _complete_flow(self, flow: _FlowState) -> None:
         self._track_completed(flow.batch)
+        if self.auditor is not None:
+            self.auditor.on_batch_complete(self, flow.batch)
         self.on_batch_done(self, flow.batch)
         self._update_activity()
         self.try_start()

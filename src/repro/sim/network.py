@@ -16,8 +16,9 @@ full aggregate bandwidth of the dimensions it spans.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
-from typing import Callable
 
 from ..collectives.registry import algorithms_for_topology
 from ..collectives.types import CollectiveRequest
@@ -28,6 +29,7 @@ from ..core.policies import IntraDimPolicy, get_policy
 from ..core.scheduler import SchedulerFactory
 from ..errors import ConfigError, SimulationError
 from ..topology import Topology
+from .audit import InvariantAuditor, resolve_audit
 from .engine import EventQueue
 from .executor import DimensionChannel, FusionConfig, OpState
 from .timeline import Interval, OpRecord, merge_intervals, total_length
@@ -48,7 +50,7 @@ class CollectiveResult:
 
     @property
     def done(self) -> bool:
-        return self.completion_time == self.completion_time  # not NaN
+        return not math.isnan(self.completion_time)
 
 
 @dataclass
@@ -216,6 +218,7 @@ class NetworkSimulator:
         record_ops: bool = True,
         indexed_queues: bool = True,
         plan_cache: bool = True,
+        audit: bool | None = None,
     ) -> None:
         self.topology = topology
         self.scheduler_factory = scheduler or SchedulerFactory("themis")
@@ -226,6 +229,14 @@ class NetworkSimulator:
         self.algorithm_overrides = dict(algorithm_overrides or {})
         self.record_ops = record_ops
         self.indexed_queues = indexed_queues
+        #: Runtime invariant auditor — ``None`` unless requested via the
+        #: ``audit`` parameter or ``THEMIS_AUDIT=1`` (see repro.sim.audit).
+        self.auditor: InvariantAuditor | None = None
+        if resolve_audit(audit):
+            # Simulators sharing one engine share its auditor so engine-level
+            # checks stay consistent across co-tenants.
+            self.auditor = self.engine.auditor or InvariantAuditor()
+            self.engine.auditor = self.auditor
         self.channels = [
             DimensionChannel(
                 i,
@@ -238,6 +249,10 @@ class NetworkSimulator:
             )
             for i, dim in enumerate(topology.dims)
         ]
+        if self.auditor is not None:
+            for channel in self.channels:
+                channel.auditor = self.auditor
+                self.auditor.register_channel(channel)
         self._states: dict[int, _CollectiveState] = {}
         self._results: list[CollectiveResult] = []
         self._records: list[OpRecord] = []

@@ -11,7 +11,7 @@ drives at ~97.7% utilization — included so that Fig. 4 can be regenerated.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import TopologyError
 from .dimension import dimension

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from ..errors import TopologyError
 from ..units import to_gbps
@@ -106,7 +106,9 @@ class Topology:
             seen.add(index)
         dims = tuple(self.dims[i] for i in dim_indices)
         sub = Topology(dims, name=name or f"{self.name}[{list(dim_indices)}]")
-        object.__setattr__(sub, "_parent_indices", tuple(dim_indices))
+        # Constructor-style init of a brand-new frozen instance, never mutation
+        # of one that escaped this method.
+        object.__setattr__(sub, "_parent_indices", tuple(dim_indices))  # replint: ignore[RPL006]
         return sub
 
     def communicator(
@@ -141,7 +143,7 @@ class Topology:
 
             dims.append(replace(dim, size=count))
         comm = Topology(dims, name=name or f"{self.name}:comm{tuple(dim_indices)}")
-        object.__setattr__(comm, "_parent_indices", tuple(dim_indices))
+        object.__setattr__(comm, "_parent_indices", tuple(dim_indices))  # replint: ignore[RPL006]
         return comm
 
     def parent_index(self, local_index: int) -> int:

@@ -29,7 +29,7 @@ loops event-by-event on one shared engine and network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from ..collectives.types import CollectiveRequest, CollectiveType
 from ..core.scheduler import SchedulerFactory
@@ -346,6 +346,7 @@ class TrainingSimulator:
         scheduler: SchedulerFactory | str = "themis",
         config: TrainingConfig | None = None,
         ideal_network: bool = False,
+        audit: bool | None = None,
     ) -> None:
         self.workload = workload
         self.topology = topology
@@ -370,6 +371,7 @@ class TrainingSimulator:
                 policy=self.config.policy,
                 fusion=self.config.fusion,
                 engine=self.engine,
+                audit=audit,
             )
             policy_tag = self.config.policy.upper()
             base = scheduler.name

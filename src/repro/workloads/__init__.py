@@ -1,6 +1,6 @@
 """DNN workload models (paper Sec. 5.2) and the workload registry."""
 
-from typing import Callable
+from collections.abc import Callable
 
 from .base import Workload
 from .compute import A100_MEMORY_BW, A100_PEAK_FLOPS, ComputeModel

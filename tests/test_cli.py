@@ -143,6 +143,16 @@ class TestSpecCommands:
         out = capsys.readouterr().out
         assert "[collective]" in out and "makespan" in out
 
+    def test_run_spec_audited(self, spec_path, capsys):
+        assert main(["run", "--spec", spec_path, "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "[collective]" in out and "makespan" in out
+
+    def test_audit_flag_absent_defers_to_env(self, spec_path, monkeypatch):
+        # Without --audit the CLI passes audit=None so THEMIS_AUDIT decides.
+        monkeypatch.setenv("THEMIS_AUDIT", "1")
+        assert main(["run", "--spec", spec_path]) == 0
+
     def test_run_spec_json_output(self, spec_path, capsys):
         import json
 

@@ -141,3 +141,40 @@ class TestDimLoadTracker:
         tracker.update([5.0, 1.0, 3.0])
         assert tracker.ascending_order() == (1, 2, 0)
         assert tracker.descending_order() == (0, 2, 1)
+
+
+class TestIndexedReadyQueueIteration:
+    """Regression: ``__iter__`` dedups stale heap entries on the stable op
+    key (``op.key``), never on the interpreter address, so diagnostics that
+    iterate the queue see each live op exactly once in a stable order."""
+
+    @staticmethod
+    def _op(seq, owner="a", priority=0):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            key=(seq, 0, 0), owner=owner, priority=priority, queued=False
+        )
+
+    @staticmethod
+    def _queue():
+        from repro.core.ready_queue import IndexedReadyQueue
+
+        return IndexedReadyQueue(lambda op: (op.priority, op.key))
+
+    def test_stale_entries_collapse(self):
+        queue = self._queue()
+        op = self._op(1)
+        queue.push(op, True)
+        queue.discard(op)  # leaves a dead heap entry behind
+        queue.push(op, True)  # re-admission: second entry, same op
+        assert len(queue) == 1
+        assert [o.key for o in queue] == [(1, 0, 0)]
+
+    def test_iteration_includes_parked_ops(self):
+        queue = self._queue()
+        eligible, parked = self._op(1), self._op(2)
+        queue.push(eligible, True)
+        queue.push(parked, False)
+        assert sorted(o.key for o in queue) == [(1, 0, 0), (2, 0, 0)]
+        assert len(queue) == 2

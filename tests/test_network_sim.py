@@ -430,3 +430,32 @@ class TestIdealNetwork:
         )
         net.run()
         assert res.done and res.duration > 0
+
+
+class TestCollectiveResultDone:
+    """Regression: ``done`` is an explicit NaN check, so a collective that
+    legitimately completes at t=0.0 counts as done and an unfinished one
+    (``completion_time`` NaN) never does."""
+
+    @staticmethod
+    def _result(completion_time):
+        from repro.sim.network import CollectiveResult
+
+        return CollectiveResult(
+            request=CollectiveRequest(CollectiveType.ALL_REDUCE, MB),
+            plan=None,
+            issue_time=0.0,
+            completion_time=completion_time,
+        )
+
+    def test_nan_is_not_done(self):
+        pending = self._result(float("nan"))
+        assert not pending.done
+        assert math.isnan(pending.duration)
+
+    def test_zero_completion_time_is_done(self):
+        assert self._result(0.0).done
+
+    def test_finished_run_marks_done(self, fig5_topology):
+        result = run_single(fig5_topology, chunks=2, size=8 * MB)
+        assert all(c.done for c in result.collectives)

@@ -206,6 +206,51 @@ class TestClusterEquivalence:
         assert opt_sim.engine.cancelled_events > 0
 
 
+class TestAuditEquivalence:
+    """The invariant auditor is observer-only: an audited run's timeline is
+    bit-identical to an unaudited one (exact float equality), and the
+    cluster reports match too.  This is the acceptance gate for every new
+    auditor hook — a hook that schedules events or perturbs state breaks
+    these immediately."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_identical_collective_timelines(self, policy):
+        def run(audit: bool) -> tuple:
+            sim = NetworkSimulator(
+                three_dim_topology(),
+                SchedulerFactory("themis", splitter=Splitter(8)),
+                policy=policy,
+                audit=audit,
+            )
+            _submit_mixed_workload(sim)
+            return _timeline(sim)
+
+        audited = run(True)
+        unaudited = run(False)
+        assert audited == unaudited
+
+    @pytest.mark.parametrize("fairness", ["fifo", "weighted", "ftf", "preempt"])
+    def test_identical_cluster_reports(self, fairness):
+        def run(audit: bool):
+            config = ClusterConfig(
+                training=TrainingConfig(chunks_per_collective=16),
+                isolated_baselines=False,
+                fairness=fairness,
+                audit=audit,
+            )
+            sim = ClusterSimulator(three_dim_topology(), _cluster_jobs(), config)
+            report = sim.run()
+            assert (sim.network.auditor is not None) == audit
+            return report
+
+        audited = run(True)
+        unaudited = run(False)
+        assert [j.jct for j in audited.jobs] == [j.jct for j in unaudited.jobs]
+        assert audited.makespan == unaudited.makespan
+        assert audited.preemption_count == unaudited.preemption_count
+        assert audited.comm_active_seconds == unaudited.comm_active_seconds
+
+
 class TestSharedEngineEquivalence:
     def test_two_simulators_on_one_engine(self):
         """The training/cluster layers share one engine across simulators;
