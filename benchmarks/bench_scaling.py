@@ -43,14 +43,18 @@ if True:  # allow running without PYTHONPATH=src
     if str(_SRC) not in sys.path:
         sys.path.insert(0, str(_SRC))
 
+from repro import api
 from repro.cluster import ClusterConfig, ClusterSimulator, JobSpec
-from repro.topology import Topology, dimension
+from repro.topology import Topology, dimension, topology_to_dict
 from repro.training import TrainingConfig
 from repro.units import MB
 from repro.workloads import Layer, Workload
 
 DEFAULT_JOB_COUNTS = (8, 16, 32, 64)
 DEFAULT_POLICIES = ("fifo", "weighted", "ftf", "preempt")
+#: Arrivals in the open-loop throughput row (the bounded-memory headline:
+#: a single spec-driven run sustaining 10k arrivals with K live jobs).
+DEFAULT_OPEN_LOOP_ARRIVALS = 10_000
 
 
 def bench_topology() -> Topology:
@@ -154,6 +158,65 @@ def run_cell(
     }
 
 
+def run_open_loop(arrivals: int = DEFAULT_OPEN_LOOP_ARRIVALS) -> dict:
+    """One spec-driven open-loop run: N arrivals, bounded live-job memory.
+
+    Exercises the trace generator, admission control (K concurrency
+    slots), slot recycling, and the outcome cap in one go; the row tracks
+    generator+simulator throughput (arrivals/second of wall time) and the
+    memory bounds (peak live jobs, retained payload rows) rather than a
+    fairness matrix cell.  Lives under its own document key, so
+    ``check_regression.py`` (which walks ``results``) ignores it.
+    """
+    spec = api.ClusterScenario(
+        topology=topology_to_dict(bench_topology()),
+        open_loop=api.OpenLoopTrace(
+            rate=20_000.0,
+            duration=None,
+            max_jobs=arrivals,
+            seed=3,
+            mix={
+                "elephant_fraction": 0.05,
+                "elephant_layers": 2,
+                "elephant_param_mb": 1.0,
+                "mouse_layers": 1,
+                "mouse_param_mb": 0.25,
+                "max_iterations": 2,
+            },
+        ),
+        max_concurrent=8,
+        outcome_cap=100,
+        isolated_baselines=False,
+        chunks=1,
+    )
+    start = time.perf_counter()
+    report = api.run(spec)
+    wall = time.perf_counter() - start
+    payload = report.payload
+    row = {
+        "arrivals": arrivals,
+        "wall_seconds": wall,
+        "arrivals_per_second": arrivals / wall if wall > 0 else 0.0,
+        "events": report.events,
+        "events_per_second": report.events / wall if wall > 0 else 0.0,
+        "peak_live_jobs": payload["peak_live_jobs"],
+        "max_concurrent": 8,
+        "payload_job_rows": len(payload["jobs"]),
+        "job_rows_omitted": payload["job_rows_omitted"],
+        "makespan": report.makespan,
+    }
+    assert payload["peak_live_jobs"] <= 8, "admission cap violated"
+    assert payload["total_jobs"] == arrivals
+    print(
+        f"open-loop {arrivals:6d} arrivals  wall={wall * 1000:8.1f}ms "
+        f"arrivals/s={row['arrivals_per_second'] / 1000:6.1f}k "
+        f"peak_live={row['peak_live_jobs']:2d} "
+        f"rows_kept={row['payload_job_rows']}",
+        flush=True,
+    )
+    return row
+
+
 def run_matrix(
     job_counts: tuple[int, ...],
     policies: tuple[str, ...],
@@ -161,6 +224,7 @@ def run_matrix(
     iterations: int = 2,
     chunks: int = 8,
     compare_legacy: bool = False,
+    open_loop_arrivals: "int | None" = DEFAULT_OPEN_LOOP_ARRIVALS,
 ) -> dict:
     """Run the sweep; returns the JSON-ready result document."""
     isolated_cache: dict = {}
@@ -211,8 +275,14 @@ def run_matrix(
             "chunks_per_collective": chunks,
             "topology": bench_topology().name,
             "compare_legacy": compare_legacy,
+            "open_loop_arrivals": open_loop_arrivals,
         },
         "results": cells,
+        "open_loop": (
+            run_open_loop(open_loop_arrivals)
+            if open_loop_arrivals is not None
+            else None
+        ),
     }
 
 
@@ -259,18 +329,29 @@ def main(argv: list[str] | None = None) -> dict:
         help="also run the pre-indexing reference path and report speedups",
     )
     parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--open-loop-arrivals",
+        type=int,
+        default=DEFAULT_OPEN_LOOP_ARRIVALS,
+        help="arrivals in the open-loop throughput row; 0 skips it "
+             "(default: %(default)s; --quick reduces it to 2000)",
+    )
     args = parser.parse_args(argv)
 
     job_counts = tuple(int(n) for n in args.jobs.split(","))
     policies = tuple(p.strip() for p in args.policies.split(","))
+    open_loop_arrivals = args.open_loop_arrivals or None
     if args.quick:
         job_counts = tuple(n for n in job_counts if n <= 16) or (8, 16)
+        if open_loop_arrivals is not None:
+            open_loop_arrivals = min(open_loop_arrivals, 2000)
     document = run_matrix(
         job_counts,
         policies,
         iterations=args.iterations,
         chunks=args.chunks,
         compare_legacy=args.compare_legacy,
+        open_loop_arrivals=open_loop_arrivals,
     )
     if args.json:
         Path(args.json).write_text(json.dumps(document, indent=2) + "\n")

@@ -43,10 +43,14 @@ def main(argv: list[str] | None = None) -> None:
     args = parser.parse_args(argv)
 
     job_counts = (8, 16) if args.quick else (8, 16, 32, 64)
+    open_loop_arrivals = (
+        2000 if args.quick else bench_scaling.DEFAULT_OPEN_LOOP_ARRIVALS
+    )
     document = bench_scaling.run_matrix(
         job_counts,
         bench_scaling.DEFAULT_POLICIES,
         compare_legacy=args.compare_legacy,
+        open_loop_arrivals=open_loop_arrivals,
     )
     if args.json:
         out_dir = Path(args.out)

@@ -18,6 +18,7 @@ fairness policies, collective algorithms) are named by key in one unified
 registry — see :func:`register` for the plugin surface.
 """
 
+from ..cluster.jobs import JobMix
 from ..cluster.placement import register_placement
 from .registry import (
     COLLECTIVE_KEYS,
@@ -35,6 +36,7 @@ from .spec import (
     SCENARIO_TYPES,
     ClusterScenario,
     CollectiveScenario,
+    OpenLoopTrace,
     PoissonTrace,
     ProvisioningScenario,
     ScenarioJob,
@@ -68,6 +70,8 @@ __all__ = [
     "ProvisioningScenario",
     "ScenarioJob",
     "PoissonTrace",
+    "JobMix",
+    "OpenLoopTrace",
     "spec_from_dict",
     "load_spec",
     "save_spec",

@@ -44,6 +44,12 @@ from .spec import (
 )
 
 
+#: Per-job payload rows are capped so a 10k-arrival open-loop run does not
+#: serialize a 10k-row report; the streaming ``steady_state`` digest covers
+#: the full population, and ``job_rows_omitted`` records the cut.
+_JOB_ROW_CAP = 200
+
+
 def scheduler_label(scheduler: str, policy: str) -> str:
     """Display label used across experiments (``Baseline`` / ``Themis+SCF``)."""
     if scheduler.lower() == "baseline":
@@ -164,10 +170,15 @@ def _run_cluster(
     context: dict | None = None,
     audit: bool | None = None,
 ) -> RunReport:
-    from ..cluster import ClusterConfig, ClusterSimulator, WeightedSharing
+    from ..cluster import (
+        ClusterConfig,
+        ClusterSimulator,
+        WeightedSharing,
+        derive_open_loop_rate,
+        mix_mean_service_time,
+    )
 
     topology = resolve_topology(spec.topology)
-    jobs = spec.to_jobs()
     fairness: Any = spec.fairness
     if spec.fairness == "weighted" and (
         spec.fairness_weights or spec.fairness_weights_by_dim
@@ -188,6 +199,12 @@ def _run_cluster(
         placement=spec.placement,
         record_ops=spec.record_ops,
         audit=audit,
+        max_concurrent=spec.max_concurrent,
+        warmup_time=spec.warmup_time,
+        measure_time=spec.measure_time,
+        outcome_cap=spec.outcome_cap,
+        isolated_per_iteration=spec.isolated_per_iteration,
+        convergence_epochs=spec.convergence_epochs,
     )
     isolated_cache = None
     if context is not None:
@@ -206,6 +223,27 @@ def _run_cluster(
             sort_keys=True,
         )
         isolated_cache = context.setdefault(("isolated_jct", scope), {})
+    calibrated_rate = None
+    if spec.open_loop is not None and spec.open_loop.rate is None:
+        # target_rho mode: derive the arrival rate from the mix's mean
+        # isolated service demand (one cached solo run per workload rung).
+        slots = (
+            spec.open_loop.calibration_slots
+            if spec.open_loop.calibration_slots is not None
+            else spec.max_concurrent
+        )
+        assert slots is not None  # enforced by the spec
+        mean_service = mix_mean_service_time(
+            topology,
+            spec.open_loop.mix,
+            config,
+            schedulers=spec.open_loop.schedulers,
+            cache=isolated_cache,
+        )
+        calibrated_rate = derive_open_loop_rate(
+            spec.open_loop.target_rho, mean_service, slots
+        )
+    jobs = spec.to_jobs(open_loop_rate=calibrated_rate)
     sim = ClusterSimulator(
         topology, jobs, config, isolated_cache=isolated_cache
     )
@@ -220,14 +258,43 @@ def _run_cluster(
             "jct": job.jct,
             "isolated_time": job.isolated_time,
             "rho": job.rho,
+            "queueing_delay": job.queueing_delay,
             "comm_active_seconds": job.comm_active_seconds,
             "placement": (
                 list(job.placement) if job.placement is not None else None
             ),
         }
-        for job in report.jobs
+        for job in report.jobs[:_JOB_ROW_CAP]
     ]
     utilization = report.utilization
+    payload = {
+        "topology": report.topology_name,
+        "jobs": job_rows,
+        "job_rows_omitted": max(0, len(report.jobs) - _JOB_ROW_CAP),
+        "total_jobs": report.total_jobs,
+        "unfinished_jobs": [job.name for job in report.unfinished_jobs],
+        "mean_jct": report.mean_jct,
+        "max_jct": report.max_jct,
+        "mean_rho": report.mean_rho,
+        "max_rho": report.max_rho,
+        "jains_fairness_index": report.jains_fairness_index,
+        "fairness": report.fairness_name,
+        "placement": report.placement_name,
+        "dim_load": list(report.dim_load),
+        "load_imbalance": report.load_imbalance,
+        "preemption_count": report.preemption_count,
+        "comm_active_seconds": report.comm_active_seconds,
+        "peak_live_jobs": report.peak_live_jobs,
+        "stopped_at": report.stopped_at,
+        "arrival_rate": calibrated_rate
+        if calibrated_rate is not None
+        else (spec.open_loop.rate if spec.open_loop is not None else None),
+        "steady_state": (
+            report.steady_state.to_dict()
+            if report.steady_state is not None
+            else None
+        ),
+    }
     return RunReport(
         mode=spec.mode,
         spec=spec.to_dict(),
@@ -236,22 +303,7 @@ def _run_cluster(
         avg_utilization=utilization.average if utilization else None,
         per_dim_utilization=tuple(utilization.per_dim) if utilization else None,
         truncated=report.truncated,
-        payload={
-            "topology": report.topology_name,
-            "jobs": job_rows,
-            "unfinished_jobs": [job.name for job in report.unfinished_jobs],
-            "mean_jct": report.mean_jct,
-            "max_jct": report.max_jct,
-            "mean_rho": report.mean_rho,
-            "max_rho": report.max_rho,
-            "jains_fairness_index": report.jains_fairness_index,
-            "fairness": report.fairness_name,
-            "placement": report.placement_name,
-            "dim_load": list(report.dim_load),
-            "load_imbalance": report.load_imbalance,
-            "preemption_count": report.preemption_count,
-            "comm_active_seconds": report.comm_active_seconds,
-        },
+        payload=payload,
         detail=report,
     )
 

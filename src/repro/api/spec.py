@@ -421,6 +421,162 @@ class PoissonTrace:
         )
 
 
+@dataclass(frozen=True)
+class OpenLoopTrace:
+    """A generated open-loop arrival trace (see :func:`repro.cluster.open_loop_trace`).
+
+    Exactly one of ``rate`` (arrivals per second) or ``target_rho``
+    (offered load; the runner calibrates the rate from the mix's mean
+    isolated service time and the scenario's ``max_concurrent`` slots)
+    sets the arrival intensity.  ``mix`` holds the
+    :class:`~repro.cluster.JobMix` knobs (elephant/mouse shapes,
+    bounded-Pareto tails) as a nested mapping; ``process`` selects the
+    arrival process (``"poisson"``, ``"bursty"``, ``"diurnal"``).  The
+    trace is fully determined by ``seed``.
+    """
+
+    rate: "float | None" = None
+    target_rho: "float | None" = None
+    #: Service slots the target-rho calibration divides load across.
+    #: ``None`` uses the scenario's ``max_concurrent``.  Comm-bound mixes
+    #: on one shared network have aggregate capacity of about *one*
+    #: network regardless of admission slots — set ``calibration_slots=1``
+    #: there so ``target_rho`` means load against the network, not
+    #: against the (memory-bounding) concurrency cap.
+    calibration_slots: "int | None" = None
+    duration: "float | None" = 0.5
+    max_jobs: "int | None" = None
+    process: str = "poisson"
+    seed: int = 0
+    schedulers: tuple[str, ...] = ("themis",)
+    start_time: float = 0.0
+    mix: Any = None
+    rate_amplitude: float = 0.5
+    rate_period: float = 0.25
+    burst_on: float = 0.05
+    burst_off: float = 0.05
+    burst_ratio: float = 4.0
+    name_prefix: str = "oj"
+
+    def __post_init__(self) -> None:
+        from ..cluster import ARRIVAL_PROCESSES, JobMix
+        from ..errors import ConfigError
+
+        if (self.rate is None) == (self.target_rho is None):
+            raise SpecError(
+                "an open-loop trace needs exactly one of 'rate' or "
+                "'target_rho'"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise SpecError(f"arrival rate must be positive, got {self.rate}")
+        if self.target_rho is not None and self.target_rho <= 0:
+            raise SpecError(
+                f"target_rho must be positive, got {self.target_rho}"
+            )
+        if self.calibration_slots is not None:
+            if self.target_rho is None:
+                raise SpecError("calibration_slots only applies to target_rho")
+            if self.calibration_slots < 1:
+                raise SpecError(
+                    f"calibration_slots must be >= 1, "
+                    f"got {self.calibration_slots}"
+                )
+        if self.duration is None and self.max_jobs is None:
+            raise SpecError(
+                "an open-loop trace needs 'duration' and/or 'max_jobs'"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise SpecError(f"duration must be positive, got {self.duration}")
+        if self.max_jobs is not None and self.max_jobs < 1:
+            raise SpecError(f"max_jobs must be >= 1, got {self.max_jobs}")
+        if self.process not in ARRIVAL_PROCESSES:
+            raise SpecError(
+                f"unknown arrival process {self.process!r}"
+                f"{did_you_mean(self.process, ARRIVAL_PROCESSES)}; "
+                f"known: {', '.join(ARRIVAL_PROCESSES)}"
+            )
+        object.__setattr__(
+            self, "schedulers", tuple(str(s) for s in self.schedulers)
+        )
+        if not self.schedulers:
+            raise SpecError("a trace needs at least one scheduler")
+        for name in self.schedulers:
+            validate_key("scheduler", name)
+        if self.start_time < 0:
+            raise SpecError(
+                f"start_time must be >= 0, got {self.start_time}"
+            )
+        mix = self.mix
+        if mix is None:
+            mix = JobMix()
+        elif isinstance(mix, dict):
+            payload = _reject_unknown(JobMix, mix, "OpenLoopTrace.mix")
+            try:
+                mix = JobMix(**payload)
+            except ConfigError as error:
+                raise SpecError(f"OpenLoopTrace.mix: {error}") from None
+        elif not isinstance(mix, JobMix):
+            raise SpecError(
+                f"mix must be a JobMix or a mapping of its fields, "
+                f"got {type(mix).__name__}"
+            )
+        object.__setattr__(self, "mix", mix)
+        # The generator re-validates the modulation/burst knobs; checking
+        # here too turns a bad spec into a SpecError at load time.
+        if not 0.0 <= self.rate_amplitude <= 1.0:
+            raise SpecError(
+                f"rate_amplitude must be in [0, 1], got {self.rate_amplitude}"
+            )
+        for label, value in (
+            ("rate_period", self.rate_period),
+            ("burst_on", self.burst_on),
+            ("burst_off", self.burst_off),
+        ):
+            if value <= 0:
+                raise SpecError(f"{label} must be positive, got {value}")
+        if self.burst_ratio < 1.0:
+            raise SpecError(
+                f"burst_ratio must be >= 1, got {self.burst_ratio}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpenLoopTrace":
+        payload = _reject_unknown(cls, data, "OpenLoopTrace")
+        return cls(**payload)
+
+    def to_jobs(self, rate: "float | None" = None) -> list:
+        """Draw the deterministic job list this trace describes.
+
+        ``rate`` supplies the calibrated arrival rate for ``target_rho``
+        traces (the runner computes it from the mix's mean isolated
+        service time); explicit-``rate`` traces ignore it.
+        """
+        from ..cluster import open_loop_trace
+
+        resolved = self.rate if self.rate is not None else rate
+        if resolved is None:
+            raise SpecError(
+                "a target_rho trace needs a calibrated rate; run it through "
+                "repro.api.run (or pass rate= to to_jobs)"
+            )
+        return open_loop_trace(
+            rate=resolved,
+            duration=self.duration,
+            max_jobs=self.max_jobs,
+            mix=self.mix,
+            process=self.process,
+            seed=self.seed,
+            schedulers=self.schedulers,
+            start_time=self.start_time,
+            rate_amplitude=self.rate_amplitude,
+            rate_period=self.rate_period,
+            burst_on=self.burst_on,
+            burst_off=self.burst_off,
+            burst_ratio=self.burst_ratio,
+            name_prefix=self.name_prefix,
+        )
+
+
 # --- the four scenario types ------------------------------------------------
 @dataclass(frozen=True)
 class CollectiveScenario(ScenarioSpec):
@@ -489,8 +645,14 @@ class TrainingScenario(ScenarioSpec):
 class ClusterScenario(ScenarioSpec):
     """N training jobs contending on one shared network.
 
-    Exactly one of ``jobs`` (explicit) or ``trace`` (generated Poisson
-    arrivals) describes the job population.  ``fairness_weights`` /
+    Exactly one of ``jobs`` (explicit), ``trace`` (generated Poisson
+    arrivals), or ``open_loop`` (seeded open-loop arrival workload with
+    heavy-tailed job mixes) describes the job population.  The
+    ``max_concurrent`` / ``warmup_time`` / ``measure_time`` /
+    ``outcome_cap`` knobs add admission control and a steady-state
+    measurement window (see :class:`~repro.cluster.ClusterConfig`) — open
+    loop in the arrivals, bounded in memory, measured past the warm-up
+    transient.  ``fairness_weights`` /
     ``fairness_weights_by_dim`` parameterize the ``"weighted"`` policy:
     the former overrides a job's scalar weight, the latter gives a job a
     *different* share per dimension (``{job: {dim index: weight}}``).
@@ -506,6 +668,7 @@ class ClusterScenario(ScenarioSpec):
     topology: "str | dict" = "3D-SW_SW_SW_homo"
     jobs: tuple[ScenarioJob, ...] = ()
     trace: "PoissonTrace | None" = None
+    open_loop: "OpenLoopTrace | None" = None
     fairness: "str | None" = None
     placement: "str | None" = None
     fairness_weights: "dict[str, float] | None" = None
@@ -517,18 +680,76 @@ class ClusterScenario(ScenarioSpec):
     isolated_baselines: bool = True
     record_ops: bool = False
     max_events: "int | None" = None
+    max_concurrent: "int | None" = None
+    warmup_time: float = 0.0
+    measure_time: "float | None" = None
+    outcome_cap: "int | None" = None
+    isolated_per_iteration: bool = False
+    convergence_epochs: int = 8
 
     def __post_init__(self) -> None:
+        from collections import Counter
+
         object.__setattr__(self, "topology", _validate_topology(self.topology))
         object.__setattr__(self, "jobs", tuple(self.jobs))
-        if bool(self.jobs) == (self.trace is not None):
-            raise SpecError(
-                "a cluster scenario needs exactly one of 'jobs' or 'trace'"
+        if isinstance(self.open_loop, dict):  # convenience: accept dicts
+            object.__setattr__(
+                self, "open_loop", OpenLoopTrace.from_dict(self.open_loop)
             )
-        names = [job.name for job in self.jobs]
-        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if isinstance(self.trace, dict):
+            object.__setattr__(
+                self, "trace", PoissonTrace.from_dict(self.trace)
+            )
+        populations = (
+            bool(self.jobs)
+            + (self.trace is not None)
+            + (self.open_loop is not None)
+        )
+        if populations != 1:
+            raise SpecError(
+                "a cluster scenario needs exactly one of 'jobs', 'trace', "
+                "or 'open_loop'"
+            )
+        duplicates = sorted(
+            name
+            for name, count in Counter(job.name for job in self.jobs).items()
+            if count > 1
+        )
         if duplicates:
             raise SpecError(f"duplicate job names: {', '.join(duplicates)}")
+        if (
+            self.open_loop is not None
+            and self.open_loop.target_rho is not None
+            and self.max_concurrent is None
+            and self.open_loop.calibration_slots is None
+        ):
+            raise SpecError(
+                "open_loop.target_rho needs max_concurrent (or "
+                "open_loop.calibration_slots): offered load is defined "
+                "against a fixed number of service slots"
+            )
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise SpecError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.warmup_time < 0:
+            raise SpecError(
+                f"warmup_time must be >= 0, got {self.warmup_time}"
+            )
+        if self.measure_time is not None and self.measure_time <= 0:
+            raise SpecError(
+                f"measure_time must be positive, got {self.measure_time}"
+            )
+        if self.warmup_time > 0 and self.measure_time is None:
+            raise SpecError("warmup_time requires measure_time")
+        if self.outcome_cap is not None and self.outcome_cap < 0:
+            raise SpecError(
+                f"outcome_cap must be >= 0, got {self.outcome_cap}"
+            )
+        if self.convergence_epochs < 1:
+            raise SpecError(
+                f"convergence_epochs must be >= 1, got {self.convergence_epochs}"
+            )
         if self.fairness is not None:
             validate_key("fairness", self.fairness)
         if self.placement is not None:
@@ -581,12 +802,22 @@ class ClusterScenario(ScenarioSpec):
         trace = payload.get("trace")
         if trace is not None and not isinstance(trace, PoissonTrace):
             payload["trace"] = PoissonTrace.from_dict(trace)
+        open_loop = payload.get("open_loop")
+        if open_loop is not None and not isinstance(open_loop, OpenLoopTrace):
+            payload["open_loop"] = OpenLoopTrace.from_dict(open_loop)
         return payload
 
-    def to_jobs(self) -> list:
-        """The runnable :class:`~repro.cluster.JobSpec` list."""
+    def to_jobs(self, open_loop_rate: "float | None" = None) -> list:
+        """The runnable :class:`~repro.cluster.JobSpec` list.
+
+        ``open_loop_rate`` supplies the calibrated arrival rate for
+        ``open_loop.target_rho`` scenarios (see
+        :meth:`OpenLoopTrace.to_jobs`).
+        """
         if self.trace is not None:
             return self.trace.to_jobs()
+        if self.open_loop is not None:
+            return self.open_loop.to_jobs(rate=open_loop_rate)
         return [job.to_jobspec() for job in self.jobs]
 
 

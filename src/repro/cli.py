@@ -210,7 +210,54 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_open_loop(args: argparse.Namespace) -> int:
+    """Open-loop cluster run: seeded arrivals + steady-state window."""
+    if (args.rate is None) == (args.target_rho is None):
+        print(
+            "error: open-loop runs need exactly one of --rate or --target-rho",
+            file=sys.stderr,
+        )
+        return 1
+    if args.target_rho is not None and args.max_concurrent is None:
+        print(
+            "error: --target-rho needs --max-concurrent (offered load is "
+            "defined against a fixed number of slots)",
+            file=sys.stderr,
+        )
+        return 1
+    open_loop: dict = {
+        "rate": args.rate,
+        "target_rho": args.target_rho,
+        "seed": args.seed,
+        "process": args.process,
+    }
+    if args.arrivals is not None:
+        open_loop["max_jobs"] = args.arrivals
+        open_loop["duration"] = args.trace_duration  # None = count-bounded
+    elif args.trace_duration is not None:
+        open_loop["duration"] = args.trace_duration
+    spec = api.ClusterScenario(
+        topology=args.topology,
+        open_loop=open_loop,
+        max_concurrent=args.max_concurrent,
+        warmup_time=args.warmup,
+        measure_time=args.measure,
+        outcome_cap=args.outcome_cap,
+        isolated_per_iteration=True,
+    )
+    _maybe_show_spec(args, spec)
+    print(api.run(spec).detail.describe())
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    if (
+        args.arrivals is not None
+        or args.rate is not None
+        or args.target_rho is not None
+        or args.measure is not None
+    ):
+        return _cmd_cluster_open_loop(args)
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 1
@@ -466,6 +513,46 @@ def build_parser() -> argparse.ArgumentParser:
                               "and all-dims baselines; 'all' sweeps every "
                               "built-in policy) instead of the Poisson "
                               "contention experiment")
+    from .cluster import ARRIVAL_PROCESSES
+
+    open_loop = cluster.add_argument_group(
+        "open-loop arrivals",
+        "any of these switches the command to a seeded open-loop arrival "
+        "workload with a steady-state measurement window",
+    )
+    open_loop.add_argument("--arrivals", type=int, default=None,
+                           metavar="N",
+                           help="generate an open-loop trace of N arrivals")
+    open_loop.add_argument("--rate", type=float, default=None,
+                           help="arrival rate in jobs/second")
+    open_loop.add_argument("--target-rho", type=float, default=None,
+                           help="offered load; the arrival rate is "
+                                "calibrated from the job mix's mean solo "
+                                "service time (needs --max-concurrent)")
+    open_loop.add_argument("--process", default="poisson",
+                           choices=list(ARRIVAL_PROCESSES),
+                           help="arrival process (default: poisson)")
+    open_loop.add_argument("--trace-duration", type=float, default=None,
+                           metavar="SECONDS",
+                           help="bound the trace by simulated time instead "
+                                "of (or in addition to) --arrivals")
+    open_loop.add_argument("--warmup", type=float, default=0.0,
+                           metavar="SECONDS",
+                           help="discard jobs finishing in the first SECONDS "
+                                "of simulated time (needs --measure)")
+    open_loop.add_argument("--measure", type=float, default=None,
+                           metavar="SECONDS",
+                           help="measure for SECONDS past the warm-up, then "
+                                "stop (steady-state window)")
+    open_loop.add_argument("--max-concurrent", type=int, default=None,
+                           metavar="K",
+                           help="admission control: at most K jobs run at "
+                                "once; later arrivals queue")
+    open_loop.add_argument("--outcome-cap", type=int, default=1000,
+                           metavar="N",
+                           help="keep per-iteration detail for the first N "
+                                "completions only (bounded memory; "
+                                "default 1000)")
     cluster.add_argument("--show-spec", action="store_true",
                          help="print the scenario spec this run maps to")
 

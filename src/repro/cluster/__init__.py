@@ -20,8 +20,18 @@ from .fairness import (
     get_fairness,
     register_fairness,
 )
-from .jobs import JOB_SCHEDULERS, JobSpec, poisson_trace
-from .metrics import ClusterReport, JobOutcome
+from .jobs import (
+    ARRIVAL_PROCESSES,
+    JOB_SCHEDULERS,
+    BoundedPareto,
+    JobMix,
+    JobSpec,
+    derive_open_loop_rate,
+    open_loop_trace,
+    poisson_trace,
+    stream_seed,
+)
+from .metrics import ClusterReport, JobOutcome, SteadyStateReport
 from .placement import (
     AllDimsPlacement,
     InterleavedPlacement,
@@ -32,14 +42,31 @@ from .placement import (
     placement_names,
     register_placement,
 )
-from .simulator import ClusterConfig, ClusterSimulator, isolated_jct, run_cluster
+from .simulator import (
+    ClusterConfig,
+    ClusterSimulator,
+    isolated_jct,
+    mix_mean_service_time,
+    run_cluster,
+)
+from .streaming import EpochAccumulator, StreamingStats
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "JOB_SCHEDULERS",
     "JobSpec",
+    "JobMix",
+    "BoundedPareto",
     "poisson_trace",
+    "open_loop_trace",
+    "derive_open_loop_rate",
+    "stream_seed",
     "JobOutcome",
     "ClusterReport",
+    "SteadyStateReport",
+    "StreamingStats",
+    "EpochAccumulator",
+    "mix_mean_service_time",
     "ClusterConfig",
     "ClusterSimulator",
     "isolated_jct",

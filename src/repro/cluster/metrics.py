@@ -37,6 +37,10 @@ class JobOutcome:
     arrival_time: float
     #: ``None`` when the run was truncated before this job completed.
     finish_time: float | None
+    #: When the job was *admitted* (a concurrency slot became available and
+    #: its loop was bound).  Equals ``arrival_time`` without admission
+    #: control; ``None`` while the job still waits in the admission queue.
+    admit_time: float | None = None
     iterations: list[IterationBreakdown] = field(default_factory=list)
     #: Time this job had at least one collective in flight on the network.
     comm_active_seconds: float = 0.0
@@ -72,6 +76,18 @@ class JobOutcome:
         return self.finish_time - self.arrival_time
 
     @property
+    def queueing_delay(self) -> float | None:
+        """Admission-queue wait: admit minus arrival (``None`` until admitted).
+
+        Zero whenever a concurrency slot was free at arrival (and always,
+        without ``max_concurrent``); positive only when admission control
+        made the job wait for a departing tenant's slot.
+        """
+        if self.admit_time is None:
+            return None
+        return self.admit_time - self.arrival_time
+
+    @property
     def slowdown(self) -> float | None:
         """JCT relative to the isolated run (``None`` if not computed)."""
         jct = self.jct
@@ -95,6 +111,133 @@ class JobOutcome:
         for iteration in self.iterations:
             combined = combined + iteration
         return combined
+
+
+@dataclass
+class SteadyStateReport:
+    """Window-scoped metrics of an open-loop run (warmup/measure mode).
+
+    All per-job statistics cover only the *measured* jobs — jobs whose
+    whole lifetime (arrival through finish) falls inside the measurement
+    window ``[warmup_time, warmup_time + measure_time]`` — the standard
+    steady-state discipline: the warm-up transient is discarded, and jobs
+    straddling the window edges (arrived during warm-up, or cut off by the
+    window end) are excluded rather than half-counted.
+
+    Every distribution field is ``None`` (never NaN) when
+    ``measured_jobs == 0``, so an empty window renders as a clear typed
+    report instead of an exception.
+    """
+
+    warmup_time: float
+    measure_time: float
+    #: Arrivals / completions whose event fell inside the window (these
+    #: count boundary-straddling jobs; ``measured_jobs`` does not).
+    arrivals: int = 0
+    completions: int = 0
+    measured_jobs: int = 0
+    #: Highest simultaneous admitted-job count over the whole run (the
+    #: bounded-memory headline: must stay far below total arrivals).
+    peak_live_jobs: int = 0
+    #: Time-average of the admitted-job count over the window.
+    mean_live_jobs: float = 0.0
+    #: ``mean_live_jobs / max_concurrent`` — measured slot occupancy (the
+    #: empirical offered-load check); ``None`` without admission control.
+    slot_utilization: float | None = None
+    #: Streaming digests over measured jobs (see ``StreamingStats.summary``).
+    queueing_delay: dict = field(default_factory=dict)
+    jct: dict = field(default_factory=dict)
+    rho: dict = field(default_factory=dict)
+    #: Jain's index over measured-job rhos (``None`` without baselines).
+    jain_rho: float | None = None
+    #: Per-epoch mean of ``epoch_metric`` across the window (``None`` for
+    #: epochs with no measured completions) — the convergence series.
+    epoch_series: tuple[float | None, ...] = ()
+    epoch_counts: tuple[int, ...] = ()
+    #: ``"rho"`` with isolated baselines, ``"jct"`` without.
+    epoch_metric: str = "rho"
+    #: First-half vs second-half agreement of ``epoch_series``; ``None``
+    #: when too few epochs carry samples to judge.
+    stationary: bool | None = None
+
+    @property
+    def window_end(self) -> float:
+        return self.warmup_time + self.measure_time
+
+    def to_dict(self) -> dict:
+        """JSON-plain form (embedded in ``RunReport.payload``)."""
+        return {
+            "warmup_time": self.warmup_time,
+            "measure_time": self.measure_time,
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "measured_jobs": self.measured_jobs,
+            "peak_live_jobs": self.peak_live_jobs,
+            "mean_live_jobs": self.mean_live_jobs,
+            "slot_utilization": self.slot_utilization,
+            "queueing_delay": dict(self.queueing_delay),
+            "jct": dict(self.jct),
+            "rho": dict(self.rho),
+            "jain_rho": self.jain_rho,
+            "epoch_series": list(self.epoch_series),
+            "epoch_counts": list(self.epoch_counts),
+            "epoch_metric": self.epoch_metric,
+            "stationary": self.stationary,
+        }
+
+    def describe(self) -> str:
+        """Human-readable steady-state block for cluster reports."""
+        lines = [
+            f"  steady state: window [{ms(self.warmup_time)}, "
+            f"{ms(self.window_end)}], {self.arrivals} arrival(s), "
+            f"{self.completions} completion(s), {self.measured_jobs} measured",
+            f"  live jobs: peak {self.peak_live_jobs}, "
+            f"mean {self.mean_live_jobs:.2f}"
+            + (
+                f", slot occupancy {pct(self.slot_utilization)}"
+                if self.slot_utilization is not None
+                else ""
+            ),
+        ]
+        if self.measured_jobs == 0:
+            lines.append(
+                "  no job's lifetime fell inside the measurement window; "
+                "distribution metrics are undefined (not zero)"
+            )
+            return "\n".join(lines)
+
+        def digest(label: str, stats: dict) -> str:
+            mean = stats.get("mean")
+            p50, p95, p99 = (stats.get(k) for k in ("p50", "p95", "p99"))
+            if mean is None:
+                return f"  {label}: n/a"
+            if label == "rho":
+                return (
+                    f"  {label}: mean {mean:.2f}, p50 {p50:.2f}, "
+                    f"p95 {p95:.2f}, p99 {p99:.2f}"
+                )
+            return (
+                f"  {label}: mean {ms(mean)}, p50 {ms(p50)}, "
+                f"p95 {ms(p95)}, p99 {ms(p99)}"
+            )
+
+        lines.append(digest("queueing delay", self.queueing_delay))
+        lines.append(digest("measured JCT", self.jct))
+        if self.rho.get("mean") is not None:
+            lines.append(digest("rho", self.rho))
+            if self.jain_rho is not None:
+                lines.append(f"  Jain index over measured rho: {self.jain_rho:.3f}")
+        series = ", ".join(
+            "-" if v is None else f"{v:.2f}" for v in self.epoch_series
+        )
+        verdict = (
+            "inconclusive" if self.stationary is None
+            else ("stationary" if self.stationary else "NOT stationary")
+        )
+        lines.append(
+            f"  per-epoch {self.epoch_metric}: [{series}] -> {verdict}"
+        )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -127,6 +270,17 @@ class ClusterReport:
     truncated: bool = False
     #: Simulated time at which the event budget cut the run short.
     truncated_at: float | None = None
+    #: Measurement-window end at which a warmup/measure run deliberately
+    #: stopped (unfinished jobs are then expected, not a deadlock).
+    stopped_at: float | None = None
+    #: Highest simultaneous admitted-job count (1 <= peak <= job count;
+    #: bounded by ``max_concurrent`` under admission control).
+    peak_live_jobs: int = 0
+    #: Total jobs in the trace, including jobs an outcome cap slimmed or a
+    #: measurement window cut before arrival; ``len(jobs)`` elsewhere.
+    total_jobs: int = 0
+    #: Window-scoped steady-state metrics (open-loop measurement mode only).
+    steady_state: SteadyStateReport | None = None
 
     def job(self, name: str) -> JobOutcome:
         for outcome in self.jobs:
@@ -145,12 +299,26 @@ class ClusterReport:
 
     @property
     def makespan(self) -> float:
-        """First arrival to last finish (to the cut, for truncated runs)."""
+        """First arrival to last finish (to the cut, for truncated or
+        window-stopped runs).  0.0 when nothing arrived or finished and no
+        cut time is known — never a bare ``max()`` on an empty sequence,
+        so a measurement window in which zero jobs complete still reports.
+        """
+        if not self.jobs:
+            return 0.0
         start = min(job.arrival_time for job in self.jobs)
-        ends = [job.finish_time for job in self.finished_jobs]
+        ends = [
+            job.finish_time
+            for job in self.finished_jobs
+            if job.finish_time is not None
+        ]
         if self.truncated_at is not None:
             ends.append(self.truncated_at)
-        return max(ends) - start
+        if self.stopped_at is not None:
+            ends.append(self.stopped_at)
+        if not ends:
+            return 0.0
+        return max(max(ends) - start, 0.0)
 
     @property
     def mean_jct(self) -> float | None:
@@ -219,10 +387,19 @@ class ClusterReport:
         total = sum(values)
         return (total * total) / (len(values) * square_sum)
 
+    #: Per-job table rows shown by ``describe`` before eliding (open-loop
+    #: runs have thousands of jobs; the table is a sample, the streaming
+    #: ``steady_state`` block the source of truth).
+    _DESCRIBE_ROW_CAP = 20
+
     def describe(self) -> str:
         """Human-readable per-job table plus cluster-wide summary."""
         rows = []
-        for job in sorted(self.jobs, key=lambda j: j.arrival_time):
+        ordered = sorted(self.jobs, key=lambda j: (j.arrival_time, j.name))
+        elided = max(0, len(ordered) - self._DESCRIBE_ROW_CAP)
+        if elided:
+            ordered = ordered[: self._DESCRIBE_ROW_CAP]
+        for job in ordered:
             rows.append(
                 (
                     job.name,
@@ -235,7 +412,8 @@ class ClusterReport:
                     job.slowdown if job.slowdown is not None else float("nan"),
                 )
             )
-        header = f"cluster on {self.topology_name}: {len(self.jobs)} job(s)"
+        total = self.total_jobs or len(self.jobs)
+        header = f"cluster on {self.topology_name}: {total} job(s)"
         if self.fairness_name is not None:
             header += f", fairness: {self.fairness_name}"
         if self.placement_name is not None:
@@ -243,6 +421,11 @@ class ClusterReport:
         if self.truncated:
             header += (
                 f" [TRUNCATED at {fmt_time(self.truncated_at or 0.0)}: "
+                f"{len(self.unfinished_jobs)} job(s) still running]"
+            )
+        elif self.stopped_at is not None:
+            header += (
+                f" [measurement window closed at {fmt_time(self.stopped_at)}: "
                 f"{len(self.unfinished_jobs)} job(s) still running]"
             )
         lines = [
@@ -254,6 +437,10 @@ class ClusterReport:
                 [str, str, str, str, ms, ms, ms, ratio],
                 indent="  ",
             ),
+        ]
+        if elided:
+            lines.append(f"  ... {elided} more job row(s) elided")
+        lines += [
             f"  makespan {fmt_time(self.makespan)}, "
             f"mean JCT "
             f"{fmt_time(self.mean_jct) if self.mean_jct is not None else 'n/a'}, "
@@ -283,4 +470,6 @@ class ClusterReport:
                 f"  BW utilization (comm-active window): "
                 f"avg {pct(self.utilization.average)} [{per_dim}]"
             )
+        if self.steady_state is not None:
+            lines.append(self.steady_state.describe())
         return "\n".join(lines)

@@ -98,21 +98,14 @@ class PlacementPolicy(abc.ABC):
 
     @staticmethod
     def _assigned_counts(cluster: "ClusterSimulator") -> list[int]:
-        """Unfinished jobs currently assigned to each dimension."""
-        ndims = len(cluster.topology.dims)
-        counts = [0] * ndims
-        for driver in cluster.drivers:
-            if driver.finished:
-                continue
-            dims = cluster.placements.get(driver.spec.name)
-            if dims is None:
-                if driver.spec.name in cluster.placements:
-                    dims = tuple(range(ndims))  # placed on all dimensions
-                else:
-                    continue  # not arrived yet: occupies nothing
-            for dim_index in dims:
-                counts[dim_index] += 1
-        return counts
+        """Unfinished jobs currently assigned to each dimension.
+
+        The simulator maintains this incrementally at each admission and
+        departure (O(dims) per event); the old per-arrival scan over every
+        driver made placement quadratic in trace length, which open-loop
+        traces of 10k+ jobs cannot afford.
+        """
+        return list(cluster.dim_assigned_counts)
 
 
 class ManualPlacement(PlacementPolicy):
@@ -262,14 +255,18 @@ class InterleavedPlacement(PlacementPolicy):
         self._duty = {}
 
     def _resident_duty(self, cluster: "ClusterSimulator") -> list[float]:
-        """Summed duty cycles of unfinished placed jobs, per dimension."""
+        """Summed duty cycles of unfinished placed jobs, per dimension.
+
+        Iterates ``cluster.live_jobs`` — the simulator's insertion-ordered
+        admitted-and-unfinished map — so the float summation order is the
+        deterministic admission order (never a hash-salted set) and each
+        arrival costs O(live jobs), not O(trace length).
+        """
         ndims = len(cluster.topology.dims)
         resident = [0.0] * ndims
-        unfinished = {
-            d.spec.name for d in cluster.drivers if not d.finished
-        }
-        for job_name, by_dim in self._duty.items():
-            if job_name not in unfinished:
+        for job_name in cluster.live_jobs:
+            by_dim = self._duty.get(job_name)
+            if by_dim is None:
                 continue
             for dim_index, duty in by_dim.items():
                 resident[dim_index] += duty

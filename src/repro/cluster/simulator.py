@@ -20,6 +20,7 @@ same platform with the same per-job configuration.
 
 from __future__ import annotations
 
+from collections import Counter, deque
 from dataclasses import dataclass, replace
 from collections.abc import Callable, Iterator, Sequence
 
@@ -34,9 +35,10 @@ from ..topology import Topology
 from ..training.iteration import ComputeStep, TrainingConfig, TrainingLoop, WaitStep
 from ..training.results import IterationBreakdown
 from .fairness import FairnessPolicy, get_fairness
-from .jobs import JobSpec
-from .metrics import ClusterReport, JobOutcome
+from .jobs import JobMix, JobSpec
+from .metrics import ClusterReport, JobOutcome, SteadyStateReport
 from .placement import PlacementPolicy, get_placement
+from .streaming import EpochAccumulator, StreamingStats
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,56 @@ class ClusterConfig:
     #: force it on/off; ``None`` defers to ``THEMIS_AUDIT``.  Observer-only
     #: — the timeline is bit-identical either way.
     audit: bool | None = None
+    #: Admission control: at most this many jobs run concurrently; excess
+    #: arrivals wait in a FIFO admission queue and are admitted as slots
+    #: free up at departures (their queueing delay is ``admit - arrival``).
+    #: ``None`` (default) admits every job at its arrival instant.
+    max_concurrent: int | None = None
+    #: Steady-state measurement window: discard the first ``warmup_time``
+    #: simulated seconds, measure for ``measure_time`` more, then *stop* —
+    #: jobs still running at the window end are expected, not a deadlock.
+    #: ``measure_time=None`` (default) keeps the closed-loop run-to-drain
+    #: behavior; ``warmup_time`` requires ``measure_time``.
+    warmup_time: float = 0.0
+    measure_time: float | None = None
+    #: Memory bound for long open-loop runs: only the first ``outcome_cap``
+    #: completions keep their :class:`TrainingLoop` and per-iteration
+    #: breakdowns; later finishers are released at departure (their
+    #: ``JobOutcome`` keeps times/placement but carries no breakdowns).
+    #: Streaming steady-state metrics see every job either way.
+    outcome_cap: int | None = None
+    #: Approximate each isolated baseline as ``iterations x`` the job's
+    #: solo *single-iteration* JCT.  With heavy-tailed iteration counts
+    #: this collapses the baseline cache to one solo run per workload
+    #: shape instead of one per (shape, iteration count) pair.
+    isolated_per_iteration: bool = False
+    #: Epochs the measurement window is split into for the convergence
+    #: series (per-epoch rho means + stationarity flag).
+    convergence_epochs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ConfigError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.warmup_time < 0:
+            raise ConfigError(
+                f"warmup_time must be >= 0, got {self.warmup_time}"
+            )
+        if self.measure_time is not None and self.measure_time <= 0:
+            raise ConfigError(
+                f"measure_time must be positive, got {self.measure_time}"
+            )
+        if self.warmup_time > 0 and self.measure_time is None:
+            raise ConfigError("warmup_time requires measure_time")
+        if self.outcome_cap is not None and self.outcome_cap < 0:
+            raise ConfigError(
+                f"outcome_cap must be >= 0, got {self.outcome_cap}"
+            )
+        if self.convergence_epochs < 1:
+            raise ConfigError(
+                f"convergence_epochs must be >= 1, got {self.convergence_epochs}"
+            )
 
 
 class _JobDriver:
@@ -95,10 +147,14 @@ class _JobDriver:
     computes (resume scheduled ``duration`` later) or waits on a collective
     that has not completed (resume from the completion callback).
 
-    ``on_arrival`` is invoked at the job's arrival event, *before* its
-    first iteration begins — the cluster binds the job's
-    :class:`TrainingLoop` there, so placement policies can read the shared
-    network's live state at the arrival instant.
+    ``on_arrival`` is invoked at the job's arrival event.  The cluster
+    decides there whether the job is *admitted* immediately (placement +
+    loop binding + :meth:`begin`, all at the arrival instant — the default,
+    bit-identical to the pre-admission-control flow) or parked in the
+    admission queue until a concurrency slot frees up at some departure.
+    ``on_finish`` fires at the job's last iteration boundary, before any
+    other event at that timestamp runs — the cluster recycles the job's
+    slot there.
     """
 
     def __init__(
@@ -106,13 +162,20 @@ class _JobDriver:
         spec: JobSpec,
         engine: EventQueue,
         on_arrival: "Callable[[_JobDriver], None]",
+        on_finish: "Callable[[_JobDriver], None]",
     ) -> None:
         self.spec = spec
         self.engine = engine
         self.on_arrival = on_arrival
+        self.on_finish = on_finish
         self.loop: TrainingLoop | None = None
         self.iterations: list[IterationBreakdown] = []
+        self.iterations_done = 0
+        self.arrived = False
+        self.admit_time: float | None = None
         self.finish_time: float | None = None
+        #: ``loop.collectives_issued`` snapshotted at :meth:`release`.
+        self.released_collectives = 0
         self._steps: Iterator[ComputeStep | WaitStep] | None = None
         self._breakdown = IterationBreakdown()
         self._waiting: WaitStep | None = None
@@ -129,13 +192,33 @@ class _JobDriver:
         self.engine.schedule(self.spec.arrival_time, self._arrive)
 
     def _arrive(self) -> None:
+        self.arrived = True
         self.on_arrival(self)
+
+    def begin(self) -> None:
+        """Start iterating (called by the cluster at the admission instant)."""
+        self.admit_time = self.engine.now
         self._begin_iteration()
+
+    def release(self) -> None:
+        """Drop the loop and per-iteration breakdowns (bounded memory).
+
+        Called by the cluster at departure once the job is past the
+        outcome cap: the counters that feed streaming metrics
+        (``iterations_done``, ``released_collectives``, the recorded
+        times) survive; the per-iteration detail does not.
+        """
+        if self.loop is not None:
+            self.released_collectives = self.loop.collectives_issued
+        self.loop = None
+        self._steps = None
+        self.iterations = []
 
     # --- driving ------------------------------------------------------------
     def _begin_iteration(self) -> None:
-        if len(self.iterations) == self.spec.iterations:
+        if self.iterations_done == self.spec.iterations:
             self.finish_time = self.engine.now
+            self.on_finish(self)
             return
         self._breakdown = IterationBreakdown()
         self._steps = self.loop.iteration_steps()
@@ -147,6 +230,7 @@ class _JobDriver:
                 step = next(self._steps)
             except StopIteration:
                 self.iterations.append(self._breakdown)
+                self.iterations_done += 1
                 self._begin_iteration()
                 return
             if isinstance(step, ComputeStep):
@@ -171,6 +255,78 @@ class _JobDriver:
         self._advance()
 
 
+class _SteadyCollector:
+    """Streaming window-scoped accumulators for one measurement run."""
+
+    def __init__(
+        self, warmup: float, measure: float, epochs: int, epoch_metric: str
+    ) -> None:
+        self.window_start = warmup
+        self.window_end = warmup + measure
+        self.arrivals = 0
+        self.completions = 0
+        self.measured = 0
+        # Distinct fixed reservoir seeds per metric: deterministic for a
+        # given ingestion order, uncorrelated across the three digests.
+        self.queue_delay = StreamingStats(seed=101)
+        self.jct = StreamingStats(seed=102)
+        self.rho = StreamingStats(seed=103)
+        self.epoch_metric = epoch_metric
+        self.epochs = EpochAccumulator(self.window_start, self.window_end, epochs)
+
+    def note_arrival(self, time: float) -> None:
+        if self.window_start <= time <= self.window_end:
+            self.arrivals += 1
+
+    def note_finish(self, driver: "_JobDriver", rho: float | None) -> None:
+        finish = driver.finish_time
+        assert finish is not None
+        if not self.window_start <= finish <= self.window_end:
+            return
+        self.completions += 1
+        arrival = driver.spec.arrival_time
+        if arrival < self.window_start:
+            return  # lifetime straddles the warm-up edge: not measured
+        self.measured += 1
+        jct = finish - arrival
+        self.jct.add(jct)
+        admit = driver.admit_time if driver.admit_time is not None else arrival
+        self.queue_delay.add(admit - arrival)
+        if rho is not None:
+            self.rho.add(rho)
+        self.epochs.add(finish, rho if rho is not None else jct)
+
+    def report(
+        self,
+        *,
+        peak_live_jobs: int,
+        mean_live_jobs: float,
+        max_concurrent: int | None,
+    ) -> SteadyStateReport:
+        return SteadyStateReport(
+            warmup_time=self.window_start,
+            measure_time=self.window_end - self.window_start,
+            arrivals=self.arrivals,
+            completions=self.completions,
+            measured_jobs=self.measured,
+            peak_live_jobs=peak_live_jobs,
+            mean_live_jobs=mean_live_jobs,
+            slot_utilization=(
+                mean_live_jobs / max_concurrent
+                if max_concurrent is not None
+                else None
+            ),
+            queueing_delay=self.queue_delay.summary(),
+            jct=self.jct.summary(),
+            rho=self.rho.summary(),
+            jain_rho=self.rho.jain_index,
+            epoch_series=self.epochs.series(),
+            epoch_counts=self.epochs.counts(),
+            epoch_metric=self.epoch_metric,
+            stationary=self.epochs.stationary(),
+        )
+
+
 class ClusterSimulator:
     """Runs a trace of training jobs on one shared platform network."""
 
@@ -187,11 +343,14 @@ class ClusterSimulator:
         a common dict so each solo baseline is simulated once)."""
         if not jobs:
             raise ConfigError("a cluster run needs at least one job")
-        names = [spec.name for spec in jobs]
-        duplicates = {name for name in names if names.count(name) > 1}
+        duplicates = sorted(
+            name
+            for name, count in Counter(spec.name for spec in jobs).items()
+            if count > 1
+        )
         if duplicates:
             raise ConfigError(
-                f"duplicate job names: {', '.join(sorted(duplicates))}"
+                f"duplicate job names: {', '.join(duplicates)}"
             )
         self.topology = topology
         self.jobs = list(jobs)
@@ -200,9 +359,20 @@ class ClusterSimulator:
         self.fairness = get_fairness(self.config.fairness)
         self.placement = get_placement(self.config.placement)
         #: ``job name -> assigned dimension subset`` (``None`` = all dims),
-        #: filled at each job's arrival event.  Jobs a truncated run cut
-        #: before arrival are absent.
+        #: filled at each job's admission event.  Jobs a truncated run cut
+        #: before arrival (or that never left the admission queue) are
+        #: absent.
         self.placements: dict[str, tuple[int, ...] | None] = {}
+        #: Admitted-and-unfinished jobs, in admission order:
+        #: ``name -> assigned dims``.  A plain dict (not a set) so policies
+        #: iterating it sum floats in deterministic admission order.
+        self.live_jobs: dict[str, tuple[int, ...] | None] = {}
+        #: Unfinished admitted jobs per dimension — the incremental form of
+        #: the placement layer's assigned-counts signal (previously an
+        #: O(jobs) scan per arrival; now O(dims) per admit/depart).
+        self.dim_assigned_counts = [0] * len(topology.dims)
+        #: Highest simultaneous admitted-job count seen so far.
+        self.peak_live_jobs = 0
         self._isolated_cache = isolated_cache if isolated_cache is not None else {}
         self.engine = EventQueue(cancellation=self.config.optimized)
         self._splitter = Splitter(self.training_config.chunks_per_collective)
@@ -218,23 +388,97 @@ class ClusterSimulator:
             audit=self.config.audit,
         )
         self._drivers = [
-            _JobDriver(spec, self.engine, self._admit) for spec in self.jobs
+            _JobDriver(spec, self.engine, self._on_arrival, self._on_finish)
+            for spec in self.jobs
         ]
+        self._admission_queue: deque[_JobDriver] = deque()
+        self._live_count = 0
+        self._last_live_change = 0.0
+        self._live_window_integral = 0.0
+        self._finished_count = 0
+        self._released_collectives = 0
+        self._collector: _SteadyCollector | None = None
+        if self.config.measure_time is not None:
+            self._collector = _SteadyCollector(
+                self.config.warmup_time,
+                self.config.measure_time,
+                self.config.convergence_epochs,
+                "rho" if self.config.isolated_baselines else "jct",
+            )
 
     @property
     def drivers(self) -> list[_JobDriver]:
         """Per-job drivers (fairness policies read progress from these)."""
         return self._drivers
 
+    # --- admission control / departures -------------------------------------
+    def _note_live(self, delta: int) -> None:
+        """Advance the window-clamped live-jobs time integral, then apply
+        ``delta`` to the live count."""
+        now = self.engine.now
+        if self._collector is not None and now > self._last_live_change:
+            lo = max(self._last_live_change, self._collector.window_start)
+            hi = min(now, self._collector.window_end)
+            if hi > lo:
+                self._live_window_integral += self._live_count * (hi - lo)
+        self._last_live_change = now
+        self._live_count += delta
+        if self._live_count > self.peak_live_jobs:
+            self.peak_live_jobs = self._live_count
+
+    def _on_arrival(self, driver: _JobDriver) -> None:
+        """Arrival event: admit immediately, or queue for a free slot."""
+        if self._collector is not None:
+            self._collector.note_arrival(self.engine.now)
+        cap = self.config.max_concurrent
+        if cap is None or self._live_count < cap:
+            self._admit(driver)
+        else:
+            self._admission_queue.append(driver)
+
+    def _on_finish(self, driver: _JobDriver) -> None:
+        """Departure: recycle the job's slot, stream its outcome, admit next."""
+        spec = driver.spec
+        dims = self.live_jobs.pop(spec.name)
+        occupied = dims if dims is not None else range(len(self.topology.dims))
+        for dim_index in occupied:
+            self.dim_assigned_counts[dim_index] -= 1
+        self._note_live(-1)
+        auditor = self.network.auditor
+        if auditor is not None:
+            auditor.on_job_departed(
+                spec.name, time=self.engine.now, live=self._live_count
+            )
+        self._finished_count += 1
+        if self._collector is not None:
+            rho = None
+            if self.config.isolated_baselines:
+                isolated = self.isolated_time(spec)
+                if isolated > 0 and driver.finish_time is not None:
+                    rho = (driver.finish_time - spec.arrival_time) / isolated
+            self._collector.note_finish(driver, rho)
+        cap_detail = self.config.outcome_cap
+        if cap_detail is not None and self._finished_count > cap_detail:
+            self._released_collectives += (
+                driver.loop.collectives_issued if driver.loop is not None else 0
+            )
+            driver.release()
+        cap = self.config.max_concurrent
+        while self._admission_queue and (
+            cap is None or self._live_count < cap
+        ):
+            self._admit(self._admission_queue.popleft())
+
     def _admit(self, driver: _JobDriver) -> None:
-        """Arrival event: place the job, then build and bind its loop.
+        """Admission event: place the job, bind its loop, start iterating.
 
         Placement happens here — not at construction time — so automatic
         policies see the shared network exactly as the job would: live
         outstanding bytes per dimension, which tenants are still running,
-        and what was assigned before it.  The loop construction itself
-        schedules no events, so with the default hand placement this is
-        bit-for-bit the pre-placement-layer timeline.
+        and what was assigned before it.  Without admission control this
+        runs inside the arrival event and the loop construction schedules
+        no events, so with the default hand placement this is bit-for-bit
+        the pre-placement-layer timeline.
         """
         spec = driver.spec
         if self.placement is None:
@@ -266,6 +510,20 @@ class ClusterSimulator:
             on_collective_complete=driver.collective_done,
         )
         driver.bind(loop)
+        self.live_jobs[spec.name] = dims
+        occupied = dims if dims is not None else range(len(self.topology.dims))
+        for dim_index in occupied:
+            self.dim_assigned_counts[dim_index] += 1
+        self._note_live(+1)
+        auditor = self.network.auditor
+        if auditor is not None:
+            auditor.on_job_admitted(
+                spec.name,
+                time=self.engine.now,
+                live=self._live_count,
+                cap=self.config.max_concurrent,
+            )
+        driver.begin()
 
     def assigned_dims(self, spec: JobSpec) -> tuple[int, ...] | None:
         """The dimension subset ``spec``'s communicators span (or will span).
@@ -305,6 +563,15 @@ class ClusterSimulator:
                 tuple(workload.layers),
             )
         dims = self.assigned_dims(spec)
+        if self.config.isolated_per_iteration:
+            key = (workload_key, spec.scheduler.lower(), 1, dims)
+            if key not in self._isolated_cache:
+                self._isolated_cache[key] = isolated_jct(
+                    self.topology,
+                    replace(spec, dim_indices=dims, iterations=1),
+                    self.config,
+                )
+            return self._isolated_cache[key] * spec.iterations
         key = (
             workload_key,
             spec.scheduler.lower(),
@@ -339,16 +606,23 @@ class ClusterSimulator:
                     time=driver.finish_time,
                     context={"arrival": spec.arrival_time},
                 )
-            if len(driver.iterations) != spec.iterations:
+            if driver.iterations_done != spec.iterations:
                 raise InvariantViolation(
                     "job-iterations",
-                    f"job {spec.name!r} recorded {len(driver.iterations)} "
+                    f"job {spec.name!r} ran {driver.iterations_done} "
                     f"iteration(s), expected {spec.iterations}",
                     time=driver.finish_time,
                 )
 
     def run(self, max_events: int | None = None) -> ClusterReport:
         """Run all jobs to completion and collect per-job/cluster metrics.
+
+        With a measurement window configured (``config.measure_time``), the
+        run instead stops at ``warmup_time + measure_time``: jobs still
+        running then are expected, not a deadlock, and the report carries a
+        window-scoped :class:`SteadyStateReport` plus ``stopped_at``.  Jobs
+        whose arrival the window cut off are omitted from the per-job rows
+        (``total_jobs`` still counts the full trace).
 
         When ``max_events`` cuts the simulation short, the returned report
         is flagged ``truncated=True``: unfinished jobs carry
@@ -362,25 +636,34 @@ class ClusterSimulator:
             self.placement.prepare(self)
         for driver in self._drivers:
             driver.start()
+        stop_time: float | None = None
+        if self.config.measure_time is not None:
+            stop_time = self.config.warmup_time + self.config.measure_time
         truncated = False
         try:
-            self.engine.run(max_events=max_events)
+            if stop_time is not None:
+                self.engine.run_until(stop_time, max_events=max_events)
+            else:
+                self.engine.run(max_events=max_events)
         except EventBudgetError:
             truncated = True
+        self._note_live(0)  # close the live-jobs time integral at stop
         unfinished = sorted(
             driver.spec.name for driver in self._drivers if not driver.finished
         )
-        if unfinished and not truncated:
+        if unfinished and not truncated and stop_time is None:
             raise DeadlockError(
                 f"{len(unfinished)} job(s) never completed: "
                 f"{', '.join(unfinished)}"
             )
         if self.network.auditor is not None:
             self._audit_outcomes()
-        submitted = sum(
+        submitted = self._released_collectives + sum(
             d.loop.collectives_issued
             for d in self._drivers
-            if d.loop is not None  # truncated runs may cut a job pre-arrival
+            # truncated/windowed runs may cut a job pre-arrival; released
+            # drivers contribute via the accumulator instead
+            if d.loop is not None
         )
         result = self.network.result() if submitted else None
         utilization = None
@@ -389,8 +672,12 @@ class ClusterSimulator:
             utilization = bw_utilization(result)
             comm_active = result.comm_active_seconds
         outcomes = []
+        outcome_specs = []
         for driver in self._drivers:
             spec = driver.spec
+            if stop_time is not None and not driver.arrived:
+                continue  # the window closed before this job existed
+            outcome_specs.append(spec)
             outcomes.append(
                 JobOutcome(
                     name=spec.name,
@@ -406,11 +693,20 @@ class ClusterSimulator:
                     ),
                     placement=self.assigned_dims(spec),
                     placed=spec.name in self.placements,
+                    admit_time=driver.admit_time,
                 )
             )
         if self.config.isolated_baselines:
-            for spec, outcome in zip(self.jobs, outcomes):
+            for spec, outcome in zip(outcome_specs, outcomes):
                 outcome.isolated_time = self.isolated_time(spec)
+        steady_state = None
+        if self._collector is not None:
+            measure = self._collector.window_end - self._collector.window_start
+            steady_state = self._collector.report(
+                peak_live_jobs=self.peak_live_jobs,
+                mean_live_jobs=self._live_window_integral / measure,
+                max_concurrent=self.config.max_concurrent,
+            )
         return ClusterReport(
             topology_name=self.topology.name,
             jobs=outcomes,
@@ -428,6 +724,10 @@ class ClusterSimulator:
             preemption_count=self.network.preemption_count,
             truncated=truncated,
             truncated_at=self.engine.now if truncated else None,
+            stopped_at=stop_time if not truncated else None,
+            peak_live_jobs=self.peak_live_jobs,
+            total_jobs=len(self.jobs),
+            steady_state=steady_state,
         )
 
 
@@ -447,9 +747,64 @@ def isolated_jct(
         isolated_baselines=False,
         fairness=None,
         placement=None,
+        # Window/admission knobs belong to the shared run, not the solo
+        # baseline — a warm-up longer than the solo JCT would otherwise
+        # truncate the denominator to nothing.
+        max_concurrent=None,
+        warmup_time=0.0,
+        measure_time=None,
+        outcome_cap=None,
     )
     solo = ClusterSimulator(topology, [spec.at_arrival(0.0)], solo_config)
     return solo.run().jobs[0].jct
+
+
+def mix_mean_service_time(
+    topology: Topology,
+    mix: JobMix,
+    config: ClusterConfig | None = None,
+    schedulers: Sequence[str] = ("themis",),
+    cache: dict[tuple, float] | None = None,
+) -> float:
+    """Expected isolated JCT of one job drawn from ``mix`` (seconds).
+
+    The mean service demand behind target-rho calibration: per class and
+    size rung, one solo single-iteration run (cached) scaled by the mix's
+    expected iteration count, weighted by the analytic class/rung
+    probabilities and averaged over the scheduler rotation.  Exact for the
+    iteration factor (service time is linear in iterations when run solo —
+    iterations are identical and independent) and exact-by-construction
+    for the rung weights, so ``derive_open_loop_rate`` hits its target
+    offered load without a pilot simulation.
+    """
+    if not schedulers:
+        raise ConfigError("mix_mean_service_time needs at least one scheduler")
+    cache = cache if cache is not None else {}
+    pool = mix.workload_pool()
+    class_probs = mix.class_probabilities()
+    level_probs = mix.level_probabilities()
+    expected = 0.0
+    for (label, rung), workload in pool.items():
+        weight = class_probs[label] * level_probs[rung]
+        if weight <= 0:
+            continue
+        per_scheduler = 0.0
+        for scheduler in schedulers:
+            key = ("mix-service", workload.name, scheduler.lower())
+            if key not in cache:
+                cache[key] = isolated_jct(
+                    topology,
+                    JobSpec(
+                        name=f"calib-{label}-s{rung}",
+                        workload=workload,
+                        iterations=1,
+                        scheduler=scheduler,
+                    ),
+                    config,
+                )
+            per_scheduler += cache[key]
+        expected += weight * per_scheduler / len(schedulers)
+    return expected * mix.mean_iterations
 
 
 def run_cluster(

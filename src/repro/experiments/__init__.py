@@ -21,6 +21,13 @@ from .placement import (
     placement_trace,
     run_placement_comparison,
 )
+from .steady_state import (
+    RHO_GRID,
+    SCHEDULER_VARIANTS,
+    SteadyStateResult,
+    run_steady_state,
+    steady_state_sweep,
+)
 
 __all__ = [
     "run_fig4",
@@ -37,6 +44,11 @@ __all__ = [
     "FairnessComparisonResult",
     "FAIRNESS_VARIANTS",
     "skewed_trace",
+    "run_steady_state",
+    "steady_state_sweep",
+    "SteadyStateResult",
+    "RHO_GRID",
+    "SCHEDULER_VARIANTS",
     "run_placement_comparison",
     "PlacementComparisonResult",
     "PLACEMENT_VARIANTS",

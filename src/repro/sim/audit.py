@@ -130,6 +130,10 @@ class InvariantAuditor:
     #: one engine each have their own dim0..dimN channels.  The map is never
     #: iterated, so object-identity keys cannot leak into event ordering.
     _ledgers: "dict[DimensionChannel, _ChannelLedger]" = field(default_factory=dict)
+    #: Jobs currently holding a concurrency slot (admitted, not departed).
+    _admitted_jobs: set[str] = field(default_factory=set)
+    #: Jobs whose slot was already recycled (departed exactly once).
+    _departed_jobs: set[str] = field(default_factory=set)
 
     # --- engine hooks -------------------------------------------------------
     def on_event_scheduled(self, queue: "EventQueue", time: float) -> None:
@@ -165,6 +169,54 @@ class InvariantAuditor:
                 "non-negative-time",
                 f"event fires at negative time {time!r}",
                 time=time,
+            )
+
+    # --- cluster job-slot hooks ---------------------------------------------
+    def on_job_admitted(
+        self, name: str, *, time: float, live: int, cap: int | None
+    ) -> None:
+        """Admission: each job takes exactly one slot, within the cap."""
+        self.checks_run += 1
+        if name in self._admitted_jobs or name in self._departed_jobs:
+            raise InvariantViolation(
+                "job-slot",
+                f"job {name!r} admitted twice",
+                time=time,
+            )
+        self._admitted_jobs.add(name)
+        if live < 1:
+            raise InvariantViolation(
+                "job-slot",
+                f"live-job count {live} < 1 right after an admission",
+                time=time,
+            )
+        if cap is not None and live > cap:
+            raise InvariantViolation(
+                "job-slot",
+                f"admission pushed live-job count to {live}, above the "
+                f"max_concurrent cap {cap}",
+                time=time,
+                context={"job": name},
+            )
+
+    def on_job_departed(self, name: str, *, time: float, live: int) -> None:
+        """Departure: every slot is freed exactly once, never below zero."""
+        self.checks_run += 1
+        if name not in self._admitted_jobs:
+            message = (
+                f"job {name!r} freed its slot twice"
+                if name in self._departed_jobs
+                else f"job {name!r} departed without being admitted"
+            )
+            raise InvariantViolation("job-slot", message, time=time)
+        self._admitted_jobs.discard(name)
+        self._departed_jobs.add(name)
+        if live < 0:
+            raise InvariantViolation(
+                "job-slot",
+                f"live-job count went negative ({live}) at a departure",
+                time=time,
+                context={"job": name},
             )
 
     # --- channel hooks ------------------------------------------------------

@@ -234,17 +234,29 @@ class EventQueue:
                     )
                 return
 
-    def run_until(self, time: float) -> None:
+    def run_until(self, time: float, max_events: int | None = None) -> None:
         """Fire all events up to and including ``time``, then advance ``now``.
 
         Events scheduled exactly at ``time`` do fire (the comparison is
         ``<=``): callers use this to advance a compute clock while letting
         network completions at the boundary instant land first.
+
+        ``max_events`` bounds the callbacks fired, with the same exhausted-
+        only-if-work-remains contract as :meth:`run` — the budget errors
+        only when another live event at or before ``time`` is still
+        pending.
         """
+        fired = 0
         while True:
             self._prune()
             if not self._heap or self._heap[0][0] > time:
                 break
+            if max_events is not None and fired >= max_events:
+                raise EventBudgetError(
+                    f"event budget exhausted: event(s) still pending at or "
+                    f"before t={time:g} after {max_events} fired"
+                )
             self.step()
+            fired += 1
         if time > self.now:
             self.now = time

@@ -22,7 +22,7 @@ from .serialization import (
     workload_from_dict,
     workload_to_dict,
 )
-from .synthetic import flood
+from .synthetic import flood, flood_ladder
 from .transformer import MP_GROUP_SIZE, transformer_1t
 
 #: The paper's four evaluation workloads (Sec. 5.2), in Fig. 12 order.
@@ -97,6 +97,7 @@ __all__ = [
     "dlrm",
     "transformer_1t",
     "flood",
+    "flood_ladder",
     "MP_GROUP_SIZE",
     "PAPER_WORKLOADS",
     "get_workload",

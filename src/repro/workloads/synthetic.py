@@ -10,6 +10,8 @@ builds such a workload from two knobs, and is registered under the
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from ..errors import WorkloadError
 from ..units import MB
 from .base import Workload
@@ -50,3 +52,32 @@ def flood(
         ],
         batch_per_npu=1,
     )
+
+
+def flood_ladder(
+    layers: int,
+    param_mb: float,
+    scales: Sequence[float],
+    name_prefix: str = "flood",
+) -> list[Workload]:
+    """A quantized size ladder of :func:`flood` workloads.
+
+    Open-loop job mixes draw continuous heavy-tailed job sizes but must
+    collapse them onto a *finite* set of workload shapes so isolated-JCT
+    baselines stay cacheable (one solo run per rung, not per job).  Each
+    ``scale`` multiplies the per-layer parameter size; names encode the
+    rung index so every rung is a distinct, stable workload identity.
+    """
+    if not scales:
+        raise WorkloadError("flood_ladder needs at least one scale")
+    for scale in scales:
+        if scale <= 0:
+            raise WorkloadError(f"flood_ladder scales must be positive, got {scale}")
+    return [
+        flood(
+            layers=layers,
+            param_mb=param_mb * scale,
+            name=f"{name_prefix}-s{index}-{layers}x{param_mb * scale:g}MB",
+        )
+        for index, scale in enumerate(scales)
+    ]

@@ -1,0 +1,79 @@
+"""Statistical helpers for the open-loop test harness.
+
+Small, dependency-free implementations of the checks ``test_open_loop.py``
+needs: one-sample Kolmogorov-Smirnov statistics against analytic CDFs and
+the classic large-sample acceptance thresholds.  Every test using these
+runs on a *fixed* seed, so the checks are deterministic pass/fail gates on
+the generator's correctness, not flaky hypothesis tests: a seed is chosen
+once, the statistic is computed, and the generous alpha=0.01 threshold
+keeps an honest generator comfortably inside while any systematic error
+(wrong inverse CDF, off-by-one in thinning, stream cross-talk) lands far
+outside.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+#: Large-sample KS critical coefficients: statistic threshold = c / sqrt(n).
+_KS_COEFFICIENTS = {0.10: 1.22, 0.05: 1.36, 0.01: 1.63}
+
+
+def ks_statistic(samples: Sequence[float], cdf: Callable[[float], float]) -> float:
+    """One-sample KS statistic: sup_x |F_n(x) - F(x)|.
+
+    Uses the exact discrete supremum over the order statistics (both the
+    left and right limits of the empirical CDF at each sample).
+    """
+    if not samples:
+        raise ValueError("KS statistic needs at least one sample")
+    ordered = sorted(samples)
+    n = len(ordered)
+    worst = 0.0
+    for index, value in enumerate(ordered):
+        model = cdf(value)
+        worst = max(
+            worst,
+            abs((index + 1) / n - model),
+            abs(index / n - model),
+        )
+    return worst
+
+
+def ks_threshold(n: int, alpha: float = 0.01) -> float:
+    """Large-sample KS acceptance threshold for significance ``alpha``."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    try:
+        coefficient = _KS_COEFFICIENTS[alpha]
+    except KeyError:
+        known = ", ".join(str(a) for a in sorted(_KS_COEFFICIENTS))
+        raise ValueError(f"alpha must be one of {known}, got {alpha}") from None
+    return coefficient / math.sqrt(n)
+
+
+def exponential_cdf(rate: float) -> Callable[[float], float]:
+    """CDF of Exp(rate) as a callable for :func:`ks_statistic`."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+
+    def cdf(x: float) -> float:
+        return 0.0 if x <= 0 else 1.0 - math.exp(-rate * x)
+
+    return cdf
+
+
+def sample_mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("mean needs at least one sample")
+    return sum(samples) / len(samples)
+
+
+def md1_mean_wait(rho: float, service_time: float) -> float:
+    """M/D/1 mean queueing delay (Pollaczek-Khinchine, deterministic service)."""
+    if not 0 < rho < 1:
+        raise ValueError(f"need 0 < rho < 1, got {rho}")
+    if service_time <= 0:
+        raise ValueError(f"service time must be positive, got {service_time}")
+    return rho * service_time / (2.0 * (1.0 - rho))

@@ -141,8 +141,39 @@ def random_job(rng: random.Random, index: int) -> api.ScenarioJob:
     )
 
 
+def random_open_loop(rng: random.Random) -> api.OpenLoopTrace:
+    use_target_rho = rng.random() < 0.5
+    mix = rng.choice(
+        (
+            None,
+            api.JobMix(
+                elephant_fraction=rng.uniform(0.0, 0.5),
+                max_iterations=rng.randint(1, 10),
+                size_alpha=rng.choice((None, rng.uniform(0.5, 3.0))),
+            ),
+            {"elephant_fraction": 0.2, "max_iterations": 4},
+        )
+    )
+    return api.OpenLoopTrace(
+        rate=None if use_target_rho else rng.uniform(10.0, 500.0),
+        target_rho=rng.uniform(0.1, 0.9) if use_target_rho else None,
+        calibration_slots=rng.randint(1, 4) if use_target_rho else None,
+        duration=rng.uniform(0.01, 0.5),
+        max_jobs=rng.choice((None, rng.randint(1, 50))),
+        process=rng.choice(("poisson", "bursty", "diurnal")),
+        seed=rng.randint(0, 99),
+        schedulers=rng.choice((("themis",), ("baseline", "themis"))),
+        start_time=rng.choice((0.0, rng.uniform(0.0, 0.1))),
+        mix=mix,
+        rate_amplitude=rng.uniform(0.0, 1.0),
+        burst_ratio=rng.uniform(1.0, 8.0),
+        name_prefix=rng.choice(("oj", "load")),
+    )
+
+
 def random_cluster(rng: random.Random) -> api.ClusterScenario:
-    use_trace = rng.random() < 0.5
+    population_kind = rng.choice(("jobs", "trace", "open_loop"))
+    use_trace = population_kind == "trace"
     fairness = rng.choice((None, "fifo", "weighted", "ftf", "preempt"))
     kwargs: dict = {}
     if fairness == "weighted" and rng.random() < 0.7:
@@ -151,7 +182,18 @@ def random_cluster(rng: random.Random) -> api.ClusterScenario:
             kwargs["fairness_weights_by_dim"] = {
                 "job1": {0: rng.uniform(0.5, 4.0), 1: rng.uniform(0.5, 4.0)}
             }
-    if use_trace:
+    if population_kind == "open_loop":
+        population = {"open_loop": random_open_loop(rng)}
+        kwargs.pop("fairness_weights", None)
+        kwargs.pop("fairness_weights_by_dim", None)
+        kwargs["max_concurrent"] = rng.choice((None, rng.randint(1, 8)))
+        if rng.random() < 0.7:
+            kwargs["measure_time"] = rng.uniform(0.01, 0.5)
+            kwargs["warmup_time"] = rng.choice((0.0, rng.uniform(0.0, 0.1)))
+            kwargs["convergence_epochs"] = rng.randint(1, 12)
+        kwargs["outcome_cap"] = rng.choice((None, 0, rng.randint(1, 100)))
+        kwargs["isolated_per_iteration"] = rng.random() < 0.5
+    elif use_trace:
         population: dict = {
             "trace": api.PoissonTrace(
                 workloads=tuple(
@@ -337,6 +379,101 @@ class TestOverrides:
             api.ClusterScenario(
                 topology=TINY, trace=api.PoissonTrace()
             ).with_overrides({"trace.sede": "1"})
+
+
+# --- open-loop scenarios -----------------------------------------------------
+class TestOpenLoopSpec:
+    def open_loop_scenario(self, **kwargs) -> api.ClusterScenario:
+        defaults = dict(
+            topology=TINY,
+            open_loop=api.OpenLoopTrace(rate=100.0, duration=0.05, seed=3),
+            max_concurrent=2,
+            warmup_time=0.01,
+            measure_time=0.04,
+        )
+        defaults.update(kwargs)
+        return api.ClusterScenario(**defaults)
+
+    def test_exactly_one_of_rate_and_target_rho(self):
+        with pytest.raises(SpecError, match="exactly one of"):
+            api.OpenLoopTrace()
+        with pytest.raises(SpecError, match="exactly one of"):
+            api.OpenLoopTrace(rate=10.0, target_rho=0.5)
+
+    def test_needs_a_stop_condition(self):
+        with pytest.raises(SpecError, match="'duration' and/or 'max_jobs'"):
+            api.OpenLoopTrace(rate=10.0, duration=None)
+
+    def test_process_did_you_mean(self):
+        with pytest.raises(SpecError, match="did you mean 'poisson'"):
+            api.OpenLoopTrace(rate=10.0, process="poison")
+
+    def test_mix_dict_normalized_with_did_you_mean(self):
+        spec = api.OpenLoopTrace(rate=10.0, mix={"elephant_fraction": 0.3})
+        assert isinstance(spec.mix, api.JobMix)
+        assert spec.mix.elephant_fraction == 0.3
+        with pytest.raises(SpecError, match="elephant_fraction"):
+            api.OpenLoopTrace(rate=10.0, mix={"elephant_fractoin": 0.3})
+
+    def test_target_rho_needs_slots(self):
+        with pytest.raises(SpecError, match="max_concurrent"):
+            api.ClusterScenario(
+                topology=TINY,
+                open_loop=api.OpenLoopTrace(target_rho=0.5),
+            )
+        # either the admission cap or explicit calibration slots satisfy it
+        self.open_loop_scenario(
+            open_loop=api.OpenLoopTrace(target_rho=0.5)
+        )
+        api.ClusterScenario(
+            topology=TINY,
+            open_loop=api.OpenLoopTrace(target_rho=0.5, calibration_slots=1),
+        )
+
+    def test_population_is_exactly_one_of_three(self):
+        with pytest.raises(SpecError, match="exactly one of"):
+            api.ClusterScenario(
+                topology=TINY,
+                trace=api.PoissonTrace(),
+                open_loop=api.OpenLoopTrace(rate=10.0),
+            )
+
+    def test_window_validation(self):
+        with pytest.raises(SpecError, match="warmup_time requires"):
+            self.open_loop_scenario(measure_time=None)
+        with pytest.raises(SpecError, match="measure_time"):
+            self.open_loop_scenario(measure_time=-1.0)
+        with pytest.raises(SpecError, match="outcome_cap"):
+            self.open_loop_scenario(outcome_cap=-1)
+        with pytest.raises(SpecError, match="convergence_epochs"):
+            self.open_loop_scenario(convergence_epochs=0)
+        with pytest.raises(SpecError, match="max_concurrent"):
+            self.open_loop_scenario(max_concurrent=0)
+
+    def test_dotted_overrides_reach_open_loop_fields(self):
+        spec = self.open_loop_scenario()
+        assert spec.with_overrides({"open_loop.seed": "7"}).open_loop.seed == 7
+        bumped = spec.with_overrides(
+            {"open_loop.mix.elephant_fraction": "0.4"}
+        )
+        assert bumped.open_loop.mix.elephant_fraction == 0.4
+        with pytest.raises(SpecError, match="unknown key"):
+            spec.with_overrides({"open_loop.sede": "1"})
+
+    def test_open_loop_dict_coerced(self):
+        spec = api.ClusterScenario(
+            topology=TINY,
+            open_loop={"rate": 50.0, "duration": 0.1, "seed": 2},
+        )
+        assert isinstance(spec.open_loop, api.OpenLoopTrace)
+        assert spec.open_loop.rate == 50.0
+
+    def test_to_jobs_needs_calibrated_rate(self):
+        trace = api.OpenLoopTrace(target_rho=0.5, calibration_slots=1)
+        with pytest.raises(SpecError, match="calibrated rate"):
+            trace.to_jobs()
+        jobs = trace.to_jobs(rate=100.0)
+        assert jobs and all(j.arrival_time >= 0.0 for j in jobs)
 
 
 # --- the runner --------------------------------------------------------------

@@ -362,7 +362,7 @@ class TestClusterInvariants:
     def test_lost_iteration_trips(self):
         sim = _cluster(None)
         sim.run()
-        sim._drivers[0].iterations.pop()
+        sim._drivers[0].iterations_done -= 1
         with pytest.raises(InvariantViolation) as excinfo:
             sim._audit_outcomes()
         assert _violation(excinfo).invariant == "job-iterations"

@@ -112,6 +112,55 @@ class TestCommands:
         assert main(["cluster", "--iterations", "0"]) == 1
         assert "--iterations" in capsys.readouterr().err
 
+    def test_cluster_open_loop_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.arrivals is None and args.rate is None
+        assert args.target_rho is None and args.measure is None
+        assert args.process == "poisson"
+        assert args.outcome_cap == 1000
+
+    def test_cluster_open_loop_rate(self, capsys):
+        code = main(
+            ["cluster", "--topology", "2D-SW_SW", "--rate", "800",
+             "--arrivals", "25", "--max-concurrent", "2",
+             "--warmup", "0.005", "--measure", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steady state: window" in out
+        assert "live jobs: peak" in out
+
+    def test_cluster_open_loop_target_rho(self, capsys):
+        code = main(
+            ["cluster", "--topology", "2D-SW_SW", "--target-rho", "0.4",
+             "--arrivals", "15", "--max-concurrent", "2",
+             "--measure", "0.05"]
+        )
+        assert code == 0
+        assert "steady state: window" in capsys.readouterr().out
+
+    def test_cluster_open_loop_needs_one_intensity(self, capsys):
+        assert main(
+            ["cluster", "--rate", "100", "--target-rho", "0.5",
+             "--max-concurrent", "2"]
+        ) == 1
+        assert "exactly one of --rate or --target-rho" in capsys.readouterr().err
+        assert main(["cluster", "--measure", "0.05"]) == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_cluster_target_rho_needs_slots(self, capsys):
+        assert main(["cluster", "--target-rho", "0.5"]) == 1
+        assert "--max-concurrent" in capsys.readouterr().err
+
+    def test_cluster_open_loop_show_spec(self, capsys):
+        code = main(
+            ["cluster", "--topology", "2D-SW_SW", "--rate", "500",
+             "--arrivals", "5", "--show-spec"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"open_loop"' in out and '"rate": 500.0' in out
+
     def test_provisioning(self, capsys):
         assert main(["provisioning", "--topology", "3D-SW_SW_SW_hetero"]) == 0
         out = capsys.readouterr().out
