@@ -45,6 +45,7 @@ if True:  # allow running without PYTHONPATH=src
 
 from repro import api
 from repro.cluster import ClusterConfig, ClusterSimulator, JobSpec
+from repro.sim import FaultSchedule, JobFaultPolicy, LinkFault
 from repro.topology import Topology, dimension, topology_to_dict
 from repro.training import TrainingConfig
 from repro.units import MB
@@ -217,6 +218,64 @@ def run_open_loop(arrivals: int = DEFAULT_OPEN_LOOP_ARRIVALS) -> dict:
     return row
 
 
+def run_degraded(n_jobs: int = 16) -> dict:
+    """One faulted cluster run: link degradation + job crash/retry live.
+
+    Tracks the wall-time cost of the fault machinery (capacity rescaling,
+    crash/retry bookkeeping) on a contended matrix cell, plus the
+    graceful-degradation outcome metrics.  Lives under its own document
+    key, so ``check_regression.py`` (which walks ``results``) ignores it
+    while the row still lands in the committed baseline for eyeballing.
+    """
+    link_faults = FaultSchedule(
+        (
+            LinkFault(dim_index=1, start=0.0, factor=0.5),
+            LinkFault(dim_index=0, start=2e-4, factor=0.0, duration=5e-4),
+        )
+    )
+    job_faults = JobFaultPolicy(
+        crash_rate=200.0,
+        max_retries=3,
+        backoff_base=1e-4,
+        checkpoint_iterations=1,
+        seed=5,
+    )
+    config = ClusterConfig(
+        training=TrainingConfig(chunks_per_collective=4),
+        isolated_baselines=False,
+        link_faults=link_faults,
+        job_faults=job_faults,
+    )
+    jobs = make_jobs(n_jobs, iterations=2)
+    sim = ClusterSimulator(bench_topology(), jobs, config)
+    start = time.perf_counter()
+    report = sim.run()
+    wall = time.perf_counter() - start
+    engine = sim.engine
+    row = {
+        "jobs": n_jobs,
+        "wall_seconds": wall,
+        "events": engine.events_processed,
+        "events_per_second": engine.events_processed / wall if wall > 0 else 0.0,
+        "makespan": report.makespan,
+        "mean_jct": report.mean_jct,
+        "failed_jobs": len(report.failed_jobs),
+        "total_retries": report.total_retries,
+        "lost_work_seconds": report.lost_work_seconds,
+        "completion_rate": report.completion_rate,
+    }
+    assert report.completion_rate is not None
+    assert len(report.finished_jobs) + len(report.failed_jobs) == n_jobs
+    print(
+        f"degraded {n_jobs:3d} jobs  wall={wall * 1000:8.1f}ms "
+        f"ev/s={row['events_per_second'] / 1000:7.1f}k "
+        f"retries={row['total_retries']:3d} failed={row['failed_jobs']:2d} "
+        f"completion={row['completion_rate'] * 100:5.1f}%",
+        flush=True,
+    )
+    return row
+
+
 def run_matrix(
     job_counts: tuple[int, ...],
     policies: tuple[str, ...],
@@ -225,6 +284,7 @@ def run_matrix(
     chunks: int = 8,
     compare_legacy: bool = False,
     open_loop_arrivals: "int | None" = DEFAULT_OPEN_LOOP_ARRIVALS,
+    degraded_jobs: "int | None" = 16,
 ) -> dict:
     """Run the sweep; returns the JSON-ready result document."""
     isolated_cache: dict = {}
@@ -276,12 +336,16 @@ def run_matrix(
             "topology": bench_topology().name,
             "compare_legacy": compare_legacy,
             "open_loop_arrivals": open_loop_arrivals,
+            "degraded_jobs": degraded_jobs,
         },
         "results": cells,
         "open_loop": (
             run_open_loop(open_loop_arrivals)
             if open_loop_arrivals is not None
             else None
+        ),
+        "degraded": (
+            run_degraded(degraded_jobs) if degraded_jobs is not None else None
         ),
     }
 
@@ -336,15 +400,25 @@ def main(argv: list[str] | None = None) -> dict:
         help="arrivals in the open-loop throughput row; 0 skips it "
              "(default: %(default)s; --quick reduces it to 2000)",
     )
+    parser.add_argument(
+        "--degraded-jobs",
+        type=int,
+        default=16,
+        help="job count of the faulted (link-degraded + crash/retry) row; "
+             "0 skips it (default: %(default)s; --quick reduces it to 8)",
+    )
     args = parser.parse_args(argv)
 
     job_counts = tuple(int(n) for n in args.jobs.split(","))
     policies = tuple(p.strip() for p in args.policies.split(","))
     open_loop_arrivals = args.open_loop_arrivals or None
+    degraded_jobs = args.degraded_jobs or None
     if args.quick:
         job_counts = tuple(n for n in job_counts if n <= 16) or (8, 16)
         if open_loop_arrivals is not None:
             open_loop_arrivals = min(open_loop_arrivals, 2000)
+        if degraded_jobs is not None:
+            degraded_jobs = min(degraded_jobs, 8)
     document = run_matrix(
         job_counts,
         policies,
@@ -352,6 +426,7 @@ def main(argv: list[str] | None = None) -> dict:
         chunks=args.chunks,
         compare_legacy=args.compare_legacy,
         open_loop_arrivals=open_loop_arrivals,
+        degraded_jobs=degraded_jobs,
     )
     if args.json:
         Path(args.json).write_text(json.dumps(document, indent=2) + "\n")

@@ -51,6 +51,7 @@ def main(argv: list[str] | None = None) -> None:
         bench_scaling.DEFAULT_POLICIES,
         compare_legacy=args.compare_legacy,
         open_loop_arrivals=open_loop_arrivals,
+        degraded_jobs=8 if args.quick else 16,
     )
     if args.json:
         out_dir = Path(args.out)

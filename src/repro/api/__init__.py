@@ -36,6 +36,7 @@ from .spec import (
     SCENARIO_TYPES,
     ClusterScenario,
     CollectiveScenario,
+    FaultSpec,
     OpenLoopTrace,
     PoissonTrace,
     ProvisioningScenario,
@@ -71,6 +72,7 @@ __all__ = [
     "ScenarioJob",
     "PoissonTrace",
     "JobMix",
+    "FaultSpec",
     "OpenLoopTrace",
     "spec_from_dict",
     "load_spec",

@@ -128,6 +128,12 @@ def _run_training(
         ideal_network=spec.ideal_network,
         audit=audit,
     )
+    if spec.faults is not None:
+        # Spec validation already rejected ideal_network + faults, so the
+        # network here is always the simulated one with real channels.
+        schedule, _ = spec.faults.to_runtime()
+        if schedule is not None:
+            sim.network.apply_fault_schedule(schedule)
     report = sim.run()
     per_dim = None
     if (
@@ -187,6 +193,9 @@ def _run_cluster(
             weights=spec.fairness_weights,
             weights_by_dim=spec.fairness_weights_by_dim,
         )
+    link_faults, job_faults = (
+        spec.faults.to_runtime() if spec.faults is not None else (None, None)
+    )
     config = ClusterConfig(
         training=TrainingConfig(
             overlap_dp=spec.overlap_dp,
@@ -205,6 +214,8 @@ def _run_cluster(
         outcome_cap=spec.outcome_cap,
         isolated_per_iteration=spec.isolated_per_iteration,
         convergence_epochs=spec.convergence_epochs,
+        link_faults=link_faults,
+        job_faults=job_faults,
     )
     isolated_cache = None
     if context is not None:
@@ -263,6 +274,9 @@ def _run_cluster(
             "placement": (
                 list(job.placement) if job.placement is not None else None
             ),
+            "attempts": job.attempts,
+            "failed": job.failed,
+            "lost_work": job.lost_work,
         }
         for job in report.jobs[:_JOB_ROW_CAP]
     ]
@@ -273,6 +287,15 @@ def _run_cluster(
         "job_rows_omitted": max(0, len(report.jobs) - _JOB_ROW_CAP),
         "total_jobs": report.total_jobs,
         "unfinished_jobs": [job.name for job in report.unfinished_jobs],
+        "failed_jobs": [job.name for job in report.failed_jobs],
+        "total_retries": report.total_retries,
+        "lost_work_seconds": report.lost_work_seconds,
+        "completion_rate": report.completion_rate,
+        "fault_timeline": (
+            [list(entry) for entry in sim.network.fault_timeline]
+            if link_faults is not None
+            else None
+        ),
         "mean_jct": report.mean_jct,
         "max_jct": report.max_jct,
         "mean_rho": report.mean_rho,

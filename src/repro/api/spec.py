@@ -577,6 +577,146 @@ class OpenLoopTrace:
         )
 
 
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault-injection description: link degradation plus job crashes.
+
+    The network side composes three sources into one deterministic
+    :class:`~repro.sim.FaultSchedule` — explicit timed ``links`` events,
+    generated transient ``flap_dims`` flaps, and persistent
+    ``straggler_dims`` stragglers (both generators draw from disjoint
+    per-dimension substreams of ``seed``).  The job side (``crash_rate``
+    and the retry/checkpoint knobs) becomes a
+    :class:`~repro.sim.JobFaultPolicy`; ``crash_rate=None`` leaves jobs
+    crash-free.  Cluster scenarios accept the full spec; training
+    scenarios accept the link half only.
+    """
+
+    #: Explicit timed events: mappings of :class:`~repro.sim.LinkFault`
+    #: fields (``dim_index``, ``start``, ``factor``, ``duration``, ``label``).
+    links: tuple = ()
+    #: Dimensions given generated transient flaps.
+    flap_dims: tuple = ()
+    flap_count: int = 2
+    flap_factor: float = 0.5
+    flap_mean_interval: float = 0.01
+    flap_mean_duration: float = 0.005
+    #: Dimensions given persistent stragglers.
+    straggler_dims: tuple = ()
+    straggler_factor: float = 0.5
+    straggler_probability: float = 1.0
+    #: Master seed of the flap/straggler/crash substreams.
+    seed: int = 0
+    #: Per-job crash hazard (crashes per simulated second); ``None``
+    #: disables job failures entirely.
+    crash_rate: "float | None" = None
+    max_retries: int = 3
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    checkpoint_iterations: "int | None" = None
+    restart_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+        from ..sim.faults import LinkFault
+
+        try:
+            object.__setattr__(
+                self,
+                "links",
+                tuple(
+                    event
+                    if isinstance(event, LinkFault)
+                    else LinkFault(**dict(event))
+                    for event in self.links
+                ),
+            )
+        except (ConfigError, TypeError) as error:
+            raise SpecError(f"FaultSpec.links: {error}") from None
+        for name in ("flap_dims", "straggler_dims"):
+            dims = getattr(self, name)
+            object.__setattr__(self, name, tuple(int(d) for d in dims))
+            if any(d < 0 for d in getattr(self, name)):
+                raise SpecError(f"FaultSpec.{name}: dimensions must be >= 0")
+        for label, value in (
+            ("flap_factor", self.flap_factor),
+            ("straggler_factor", self.straggler_factor),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise SpecError(
+                    f"FaultSpec.{label} must be in [0, 1], got {value}"
+                )
+        if self.flap_count < 0:
+            raise SpecError(
+                f"FaultSpec.flap_count must be >= 0, got {self.flap_count}"
+            )
+        for label, value in (
+            ("flap_mean_interval", self.flap_mean_interval),
+            ("flap_mean_duration", self.flap_mean_duration),
+        ):
+            if value <= 0:
+                raise SpecError(
+                    f"FaultSpec.{label} must be positive, got {value}"
+                )
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise SpecError(
+                f"FaultSpec.straggler_probability must be in [0, 1], "
+                f"got {self.straggler_probability}"
+            )
+        if self.crash_rate is not None:
+            # Construct the policy once here so a bad retry/backoff knob is
+            # a SpecError at load time, not a ConfigError mid-run.
+            try:
+                self._to_policy()
+            except ConfigError as error:
+                raise SpecError(f"FaultSpec: {error}") from None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        payload = _reject_unknown(cls, data, "FaultSpec")
+        return cls(**payload)
+
+    def _to_policy(self) -> "Any":
+        from ..sim.faults import JobFaultPolicy
+
+        assert self.crash_rate is not None
+        return JobFaultPolicy(
+            crash_rate=self.crash_rate,
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            backoff_factor=self.backoff_factor,
+            backoff_jitter=self.backoff_jitter,
+            checkpoint_iterations=self.checkpoint_iterations,
+            restart_overhead=self.restart_overhead,
+            seed=self.seed,
+        )
+
+    def to_runtime(self) -> "tuple[Any, Any]":
+        """The runnable ``(FaultSchedule | None, JobFaultPolicy | None)``."""
+        from ..sim.faults import FaultSchedule
+
+        schedule = FaultSchedule(self.links)
+        if self.flap_dims:
+            schedule = schedule + FaultSchedule.flaps(
+                self.flap_dims,
+                seed=self.seed,
+                count=self.flap_count,
+                factor=self.flap_factor,
+                mean_interval=self.flap_mean_interval,
+                mean_duration=self.flap_mean_duration,
+            )
+        if self.straggler_dims:
+            schedule = schedule + FaultSchedule.stragglers(
+                self.straggler_dims,
+                seed=self.seed,
+                factor=self.straggler_factor,
+                probability=self.straggler_probability,
+            )
+        policy = self._to_policy() if self.crash_rate is not None else None
+        return (schedule if schedule else None, policy)
+
+
 # --- the four scenario types ------------------------------------------------
 @dataclass(frozen=True)
 class CollectiveScenario(ScenarioSpec):
@@ -620,9 +760,25 @@ class TrainingScenario(ScenarioSpec):
     overlap_dp: bool = True
     dp_bucket_bytes: "float | None" = None
     chunks: int = 64
+    #: Link-degradation schedule for the private network.  Job-crash knobs
+    #: (``crash_rate``) are a cluster concept and rejected here.
+    faults: "FaultSpec | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload_args", dict(self.workload_args))
+        if isinstance(self.faults, dict):  # convenience: accept dicts
+            object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+        if self.faults is not None:
+            if self.faults.crash_rate is not None:
+                raise SpecError(
+                    "a training scenario runs one job to completion; "
+                    "faults.crash_rate only applies to cluster scenarios"
+                )
+            if self.ideal_network:
+                raise SpecError(
+                    "ideal_network has no links to degrade; remove 'faults' "
+                    "or use the simulated network"
+                )
         object.__setattr__(
             self, "workload", _validate_workload(self.workload, self.workload_args)
         )
@@ -686,6 +842,9 @@ class ClusterScenario(ScenarioSpec):
     outcome_cap: "int | None" = None
     isolated_per_iteration: bool = False
     convergence_epochs: int = 8
+    #: Fault injection: link degradation schedule and/or job crash policy
+    #: (``None`` = healthy network, crash-free jobs).
+    faults: "FaultSpec | None" = None
 
     def __post_init__(self) -> None:
         from collections import Counter
@@ -700,6 +859,8 @@ class ClusterScenario(ScenarioSpec):
             object.__setattr__(
                 self, "trace", PoissonTrace.from_dict(self.trace)
             )
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
         populations = (
             bool(self.jobs)
             + (self.trace is not None)
@@ -805,6 +966,9 @@ class ClusterScenario(ScenarioSpec):
         open_loop = payload.get("open_loop")
         if open_loop is not None and not isinstance(open_loop, OpenLoopTrace):
             payload["open_loop"] = OpenLoopTrace.from_dict(open_loop)
+        faults = payload.get("faults")
+        if faults is not None and not isinstance(faults, FaultSpec):
+            payload["faults"] = FaultSpec.from_dict(faults)
         return payload
 
     def to_jobs(self, open_loop_rate: "float | None" = None) -> list:

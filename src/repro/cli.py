@@ -24,12 +24,14 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from . import api
 from .analysis.tables import format_table, ms, pct
-from .errors import ReproError
+from .errors import ReproError, SpecError
 from .topology import get_topology, preset_names
 from .units import fmt_size, parse_size
 from .workloads import get_workload
@@ -84,6 +86,59 @@ def _parse_axis_flags(pairs: list[str]) -> dict[str, list]:
             raise ReproError(f"--axis {key!r} has no values")
         axes[key] = values
     return axes
+
+
+def _parse_fault_event(text: str, *, failure: bool) -> dict:
+    """``--degrade DIM:FACTOR:START[:DURATION]`` / ``--link-failure
+    DIM:START[:DURATION]`` into a :class:`~repro.api.FaultSpec` link event."""
+    flag = "--link-failure" if failure else "--degrade"
+    shape = "DIM:START[:DURATION]" if failure else "DIM:FACTOR:START[:DURATION]"
+    parts = text.split(":")
+    want = (2, 3) if failure else (3, 4)
+    if len(parts) not in want:
+        raise SpecError(f"{flag} expects {shape}, got {text!r}")
+    try:
+        dim = int(parts[0])
+        numbers = [float(part) for part in parts[1:]]
+    except ValueError:
+        raise SpecError(
+            f"{flag} expects numeric fields ({shape}), got {text!r}"
+        ) from None
+    if failure:
+        event = {"dim_index": dim, "factor": 0.0, "start": numbers[0]}
+        rest = numbers[1:]
+    else:
+        event = {"dim_index": dim, "factor": numbers[0], "start": numbers[1]}
+        rest = numbers[2:]
+    if rest:
+        event["duration"] = rest[0]
+    return event
+
+
+def _fault_payload(args: argparse.Namespace) -> dict | None:
+    """Merge ``--faults FILE`` with ``--degrade`` / ``--link-failure`` flags
+    into one FaultSpec payload dict (``None`` when no fault flag was given)."""
+    payload: dict = {}
+    if args.faults:
+        try:
+            payload = json.loads(Path(args.faults).read_text())
+        except json.JSONDecodeError as error:
+            raise SpecError(
+                f"invalid fault JSON in {args.faults}: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise SpecError(
+                f"{args.faults}: a fault spec must be a JSON object of "
+                f"FaultSpec fields"
+            )
+    links = list(payload.get("links", ()))
+    for text in args.degrade:
+        links.append(_parse_fault_event(text, failure=False))
+    for text in args.link_failure:
+        links.append(_parse_fault_event(text, failure=True))
+    if links:
+        payload["links"] = links
+    return payload or None
 
 
 def _emit_report(report: api.RunReport, as_json: bool) -> None:
@@ -244,6 +299,7 @@ def _cmd_cluster_open_loop(args: argparse.Namespace) -> int:
         measure_time=args.measure,
         outcome_cap=args.outcome_cap,
         isolated_per_iteration=True,
+        faults=_fault_payload(args),
     )
     _maybe_show_spec(args, spec)
     print(api.run(spec).detail.describe())
@@ -251,6 +307,16 @@ def _cmd_cluster_open_loop(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    faults = _fault_payload(args)
+    if faults is not None and (args.fairness or args.placement):
+        print(
+            "error: --fairness/--placement run fixed healthy-network "
+            "comparisons; for faults under scheduler comparisons see "
+            "'themis-sim fig' or run a spec with 'faults' via 'run --spec' "
+            "(experiments/degraded.py is the built-in degraded comparison)",
+            file=sys.stderr,
+        )
+        return 1
     if (
         args.arrivals is not None
         or args.rate is not None
@@ -352,13 +418,29 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
         print(result.render())
         return 0
+    workloads = tuple(
+        name.strip() for name in args.workloads.split(",") if name.strip()
+    )
+    if faults is not None:
+        # Fault injection runs the Poisson trace directly (one faulted
+        # cluster run) instead of the multi-scheduler contention experiment.
+        trace: dict = {
+            "interarrival": args.interarrival_ms * 1e-3,
+            "seed": args.seed,
+            "iterations": args.iterations,
+            "jobs": args.jobs,
+        }
+        if workloads:
+            trace["workloads"] = workloads
+        spec = api.ClusterScenario(
+            topology=args.topology, trace=trace, faults=faults
+        )
+        _maybe_show_spec(args, spec)
+        print(api.run(spec).detail.describe())
+        return 0
     from .experiments.cluster_contention import (
         contention_sweep,
         run_cluster_contention,
-    )
-
-    workloads = tuple(
-        name.strip() for name in args.workloads.split(",") if name.strip()
     )
     if args.show_spec:
         base, _axes = contention_sweep(
@@ -553,6 +635,29 @@ def build_parser() -> argparse.ArgumentParser:
                            help="keep per-iteration detail for the first N "
                                 "completions only (bounded memory; "
                                 "default 1000)")
+    fault_group = cluster.add_argument_group(
+        "fault injection",
+        "degrade or fail network dimensions on a schedule and optionally "
+        "crash/retry jobs; any of these runs the arrival trace under the "
+        "composed fault schedule (see docs/faults.md)",
+    )
+    fault_group.add_argument("--faults", default="",
+                             metavar="FILE",
+                             help="JSON file of FaultSpec fields (links, "
+                                  "flap/straggler generators, crash_rate, "
+                                  "retry/checkpoint knobs)")
+    fault_group.add_argument("--degrade", action="append", default=[],
+                             metavar="DIM:FACTOR:START[:DURATION]",
+                             help="degrade dimension DIM to FACTOR of its "
+                                  "bandwidth at START seconds, restoring "
+                                  "after DURATION (forever if omitted); "
+                                  "repeatable")
+    fault_group.add_argument("--link-failure", action="append", default=[],
+                             metavar="DIM:START[:DURATION]",
+                             help="fail dimension DIM completely (capacity "
+                                  "0, in-flight work parked) at START "
+                                  "seconds, restoring after DURATION; "
+                                  "repeatable")
     cluster.add_argument("--show-spec", action="store_true",
                          help="print the scenario spec this run maps to")
 

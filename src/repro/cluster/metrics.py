@@ -54,10 +54,26 @@ class JobOutcome:
     #: no placement was ever decided (``placement`` then echoes the spec's
     #: hand-declared dims).
     placed: bool = True
+    #: Execution attempts (1 + retries).  Stays 1 without fault injection;
+    #: 0 when the run stopped before the job was ever admitted.
+    attempts: int = 1
+    #: True when the job exhausted its retry budget and was abandoned
+    #: (``finish_time`` is then ``None`` — a failed job never finishes).
+    failed: bool = False
+    #: Simulated time the retry budget ran out (``None`` unless ``failed``).
+    fail_time: float | None = None
+    #: Simulated seconds of progress discarded across all crashes (work
+    #: since the last checkpoint, or since attempt start without one).
+    lost_work: float = 0.0
 
     @property
     def finished(self) -> bool:
         return self.finish_time is not None
+
+    @property
+    def retries(self) -> int:
+        """Retry count: attempts beyond the first."""
+        return max(0, self.attempts - 1)
 
     @property
     def placement_label(self) -> str:
@@ -136,6 +152,10 @@ class SteadyStateReport:
     arrivals: int = 0
     completions: int = 0
     measured_jobs: int = 0
+    #: Jobs whose retry budget ran out inside the window.  Failed jobs are
+    #: counted here and *never* fed into the JCT/rho digests — abandoning a
+    #: job must not read as a (vacuously fast) completion.
+    failed_jobs: int = 0
     #: Highest simultaneous admitted-job count over the whole run (the
     #: bounded-memory headline: must stay far below total arrivals).
     peak_live_jobs: int = 0
@@ -172,6 +192,7 @@ class SteadyStateReport:
             "arrivals": self.arrivals,
             "completions": self.completions,
             "measured_jobs": self.measured_jobs,
+            "failed_jobs": self.failed_jobs,
             "peak_live_jobs": self.peak_live_jobs,
             "mean_live_jobs": self.mean_live_jobs,
             "slot_utilization": self.slot_utilization,
@@ -190,7 +211,12 @@ class SteadyStateReport:
         lines = [
             f"  steady state: window [{ms(self.warmup_time)}, "
             f"{ms(self.window_end)}], {self.arrivals} arrival(s), "
-            f"{self.completions} completion(s), {self.measured_jobs} measured",
+            f"{self.completions} completion(s), {self.measured_jobs} measured"
+            + (
+                f", {self.failed_jobs} failed"
+                if self.failed_jobs
+                else ""
+            ),
             f"  live jobs: peak {self.peak_live_jobs}, "
             f"mean {self.mean_live_jobs:.2f}"
             + (
@@ -295,7 +321,36 @@ class ClusterReport:
 
     @property
     def unfinished_jobs(self) -> list[JobOutcome]:
-        return [job for job in self.jobs if not job.finished]
+        """Jobs still running when the run stopped.  Failed jobs are
+        *terminal*, not unfinished — they appear in ``failed_jobs`` only.
+        """
+        return [job for job in self.jobs if not job.finished and not job.failed]
+
+    @property
+    def failed_jobs(self) -> list[JobOutcome]:
+        """Jobs abandoned after exhausting their retry budget."""
+        return [job for job in self.jobs if job.failed]
+
+    @property
+    def total_retries(self) -> int:
+        """Crash-triggered restarts summed over all jobs (0 without faults)."""
+        return sum(job.retries for job in self.jobs)
+
+    @property
+    def lost_work_seconds(self) -> float:
+        """Simulated seconds of progress discarded to crashes, cluster-wide."""
+        return sum(job.lost_work for job in self.jobs)
+
+    @property
+    def completion_rate(self) -> float | None:
+        """Finished fraction of terminal jobs — the graceful-degradation
+        headline under fault injection (1.0 when every job that ended,
+        ended by finishing).  ``None`` when no job reached a terminal state.
+        """
+        terminal = len(self.finished_jobs) + len(self.failed_jobs)
+        if terminal == 0:
+            return None
+        return len(self.finished_jobs) / terminal
 
     @property
     def makespan(self) -> float:
@@ -446,6 +501,18 @@ class ClusterReport:
             f"{fmt_time(self.mean_jct) if self.mean_jct is not None else 'n/a'}, "
             f"comm-active {fmt_time(self.comm_active_seconds)}",
         ]
+        failed = self.failed_jobs
+        if failed or self.total_retries:
+            lines.append(
+                f"  faults: {len(failed)} job(s) failed, "
+                f"{self.total_retries} retry(ies), "
+                f"{fmt_time(self.lost_work_seconds)} lost work"
+                + (
+                    f", completion rate {pct(self.completion_rate)}"
+                    if self.completion_rate is not None
+                    else ""
+                )
+            )
         if self.mean_rho is not None:
             lines.append(
                 f"  slowdown vs isolated (finish-time fairness rho): "

@@ -29,6 +29,7 @@ from ..core.splitter import Splitter
 from ..errors import ConfigError, DeadlockError, EventBudgetError
 from ..sim.audit import InvariantViolation
 from ..sim.engine import EventQueue
+from ..sim.faults import FaultSchedule, JobFaultPolicy, fault_substream
 from ..sim.network import CollectiveResult, NetworkSimulator
 from ..sim.stats import bw_utilization
 from ..topology import Topology
@@ -114,6 +115,17 @@ class ClusterConfig:
     #: Epochs the measurement window is split into for the convergence
     #: series (per-epoch rho means + stationarity flag).
     convergence_epochs: int = 8
+    #: Deterministic link-capacity faults (degradations, failures, flaps,
+    #: stragglers) applied to the shared network at construction; see
+    #: :class:`repro.sim.faults.FaultSchedule`.  Isolated baselines strip
+    #: them — rho keeps comparing against the *healthy* solo run, so fault
+    #: scenarios report genuine JCT inflation.
+    link_faults: FaultSchedule | None = None
+    #: Job-level crash/retry semantics (crash hazard, bounded retries with
+    #: exponential backoff + jitter, optional checkpoint rollback); see
+    #: :class:`repro.sim.faults.JobFaultPolicy`.  ``None`` = jobs never
+    #: crash (today's behavior).
+    job_faults: JobFaultPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent is not None and self.max_concurrent < 1:
@@ -163,6 +175,7 @@ class _JobDriver:
         engine: EventQueue,
         on_arrival: "Callable[[_JobDriver], None]",
         on_finish: "Callable[[_JobDriver], None]",
+        fault_policy: JobFaultPolicy | None = None,
     ) -> None:
         self.spec = spec
         self.engine = engine
@@ -180,10 +193,37 @@ class _JobDriver:
         self._breakdown = IterationBreakdown()
         self._waiting: WaitStep | None = None
         self._wait_start = 0.0
+        # --- job-fault state (inert without a policy) ----------------------
+        self.fault_policy = fault_policy
+        #: Per-job crash substream: time-to-failure and backoff-jitter draws
+        #: depend only on ``(policy.seed, job name)``, never on trace order.
+        self._fault_rng = (
+            fault_substream(fault_policy.seed, f"crash:{spec.name}")
+            if fault_policy is not None
+            else None
+        )
+        self.attempts = 0
+        self.crash_count = 0
+        self.failed = False
+        self.fail_time: float | None = None
+        #: Simulated seconds of discarded progress across all crashes.
+        self.lost_work = 0.0
+        self._crash_pending = False
+        #: Staleness guard for crash timers: events drawn for an earlier
+        #: attempt carry an old generation and are ignored (the engine may
+        #: run with cancellation off, so guards carry correctness).
+        self._crash_generation = 0
+        #: Rollback anchor: time of the last checkpoint (or attempt start).
+        self._checkpoint_time = 0.0
 
     @property
     def finished(self) -> bool:
         return self.finish_time is not None
+
+    @property
+    def terminal(self) -> bool:
+        """Finished or permanently failed — either way, done with its slot."""
+        return self.finished or self.failed
 
     def bind(self, loop: TrainingLoop) -> None:
         self.loop = loop
@@ -198,7 +238,58 @@ class _JobDriver:
     def begin(self) -> None:
         """Start iterating (called by the cluster at the admission instant)."""
         self.admit_time = self.engine.now
+        self._start_attempt()
+
+    # --- job faults ---------------------------------------------------------
+    def _start_attempt(self) -> None:
+        """Open an attempt: arm the crash timer (if any) and iterate."""
+        self.attempts += 1
+        self._checkpoint_time = self.engine.now
+        policy = self.fault_policy
+        if policy is not None:
+            self._crash_generation += 1
+            generation = self._crash_generation
+            ttf = self._fault_rng.expovariate(policy.crash_rate)
+            self.engine.schedule_after(ttf, lambda: self._crash(generation))
         self._begin_iteration()
+
+    def _crash(self, generation: int) -> None:
+        """Crash timer fired: flag the abort for the next resumption point.
+
+        The driver is always either computing (a pending ``_advance``) or
+        waiting on a collective completion, so a resumption point is
+        guaranteed; aborting there keeps the engine's event set untouched
+        (no cancellations needed) and the in-flight collective simply
+        completes into a driver that ignores it.
+        """
+        if generation != self._crash_generation or self.terminal:
+            return
+        self._crash_pending = True
+
+    def _abort_attempt(self) -> None:
+        """Roll back to the last checkpoint, then retry or fail for good."""
+        policy = self.fault_policy
+        assert policy is not None
+        now = self.engine.now
+        self._crash_pending = False
+        self._crash_generation += 1  # disarm any stale crash timer
+        self.crash_count += 1
+        cp = policy.checkpoint_iterations
+        kept = 0 if cp is None else (self.iterations_done // cp) * cp
+        self.lost_work += now - self._checkpoint_time
+        self.iterations_done = kept
+        del self.iterations[kept:]
+        self._steps = None
+        self._waiting = None
+        if self.loop is not None:
+            self.loop.reset_attempt()
+        if self.crash_count > policy.max_retries:
+            self.failed = True
+            self.fail_time = now
+            self.on_finish(self)
+            return
+        delay = policy.retry_delay(self.crash_count, self._fault_rng)
+        self.engine.schedule_after(delay, self._start_attempt)
 
     def release(self) -> None:
         """Drop the loop and per-iteration breakdowns (bounded memory).
@@ -225,12 +316,22 @@ class _JobDriver:
         self._advance()
 
     def _advance(self) -> None:
+        if self._crash_pending:
+            self._abort_attempt()
+            return
         while True:
             try:
                 step = next(self._steps)
             except StopIteration:
                 self.iterations.append(self._breakdown)
                 self.iterations_done += 1
+                cp = (
+                    self.fault_policy.checkpoint_iterations
+                    if self.fault_policy is not None
+                    else None
+                )
+                if cp is not None and self.iterations_done % cp == 0:
+                    self._checkpoint_time = self.engine.now
                 self._begin_iteration()
                 return
             if isinstance(step, ComputeStep):
@@ -249,6 +350,9 @@ class _JobDriver:
             return  # an overlapped collective nobody is parked on (yet)
         step = self._waiting
         self._waiting = None
+        if self._crash_pending:
+            self._abort_attempt()
+            return
         self._breakdown.add_stall(
             step.attribution, self.engine.now - self._wait_start
         )
@@ -266,6 +370,7 @@ class _SteadyCollector:
         self.arrivals = 0
         self.completions = 0
         self.measured = 0
+        self.failures = 0
         # Distinct fixed reservoir seeds per metric: deterministic for a
         # given ingestion order, uncorrelated across the three digests.
         self.queue_delay = StreamingStats(seed=101)
@@ -277,6 +382,15 @@ class _SteadyCollector:
     def note_arrival(self, time: float) -> None:
         if self.window_start <= time <= self.window_end:
             self.arrivals += 1
+
+    def note_failure(self, driver: "_JobDriver") -> None:
+        """A permanently-failed departure: counted, never fed to the JCT /
+        rho digests (a failed job has no completion time — streaming a
+        placeholder would poison the moments)."""
+        fail_time = driver.fail_time
+        assert fail_time is not None
+        if self.window_start <= fail_time <= self.window_end:
+            self.failures += 1
 
     def note_finish(self, driver: "_JobDriver", rho: float | None) -> None:
         finish = driver.finish_time
@@ -309,6 +423,7 @@ class _SteadyCollector:
             arrivals=self.arrivals,
             completions=self.completions,
             measured_jobs=self.measured,
+            failed_jobs=self.failures,
             peak_live_jobs=peak_live_jobs,
             mean_live_jobs=mean_live_jobs,
             slot_utilization=(
@@ -387,8 +502,16 @@ class ClusterSimulator:
             plan_cache=self.config.optimized,
             audit=self.config.audit,
         )
+        if self.config.link_faults is not None:
+            self.network.apply_fault_schedule(self.config.link_faults)
         self._drivers = [
-            _JobDriver(spec, self.engine, self._on_arrival, self._on_finish)
+            _JobDriver(
+                spec,
+                self.engine,
+                self._on_arrival,
+                self._on_finish,
+                fault_policy=self.config.job_faults,
+            )
             for spec in self.jobs
         ]
         self._admission_queue: deque[_JobDriver] = deque()
@@ -451,12 +574,17 @@ class ClusterSimulator:
             )
         self._finished_count += 1
         if self._collector is not None:
-            rho = None
-            if self.config.isolated_baselines:
-                isolated = self.isolated_time(spec)
-                if isolated > 0 and driver.finish_time is not None:
-                    rho = (driver.finish_time - spec.arrival_time) / isolated
-            self._collector.note_finish(driver, rho)
+            if driver.failed:
+                self._collector.note_failure(driver)
+            else:
+                rho = None
+                if self.config.isolated_baselines:
+                    isolated = self.isolated_time(spec)
+                    if isolated > 0 and driver.finish_time is not None:
+                        rho = (
+                            driver.finish_time - spec.arrival_time
+                        ) / isolated
+                self._collector.note_finish(driver, rho)
         cap_detail = self.config.outcome_cap
         if cap_detail is not None and self._finished_count > cap_detail:
             self._released_collectives += (
@@ -594,11 +722,39 @@ class ClusterSimulator:
         """
         auditor = self.network.auditor
         assert auditor is not None
+        policy = self.config.job_faults
         for driver in self._drivers:
             auditor.checks_run += 1
             spec = driver.spec
+            if driver.failed:
+                # Retry/attempt accounting: a failed job crashed once per
+                # attempt, within the retry budget, and never also finished.
+                if driver.finish_time is not None:
+                    raise InvariantViolation(
+                        "job-fault-accounting",
+                        f"job {spec.name!r} both failed and finished",
+                        time=driver.fail_time,
+                    )
+                if driver.crash_count != driver.attempts or (
+                    policy is not None
+                    and driver.attempts > policy.max_retries + 1
+                ):
+                    raise InvariantViolation(
+                        "job-fault-accounting",
+                        f"job {spec.name!r} failed with {driver.attempts} "
+                        f"attempt(s) and {driver.crash_count} crash(es)",
+                        time=driver.fail_time,
+                    )
+                continue
             if driver.finish_time is None:
                 continue
+            if driver.crash_count != driver.attempts - 1:
+                raise InvariantViolation(
+                    "job-fault-accounting",
+                    f"job {spec.name!r} finished with {driver.attempts} "
+                    f"attempt(s) and {driver.crash_count} crash(es)",
+                    time=driver.finish_time,
+                )
             if driver.finish_time < spec.arrival_time:
                 raise InvariantViolation(
                     "job-causality",
@@ -649,7 +805,7 @@ class ClusterSimulator:
             truncated = True
         self._note_live(0)  # close the live-jobs time integral at stop
         unfinished = sorted(
-            driver.spec.name for driver in self._drivers if not driver.finished
+            driver.spec.name for driver in self._drivers if not driver.terminal
         )
         if unfinished and not truncated and stop_time is None:
             raise DeadlockError(
@@ -694,6 +850,10 @@ class ClusterSimulator:
                     placement=self.assigned_dims(spec),
                     placed=spec.name in self.placements,
                     admit_time=driver.admit_time,
+                    attempts=driver.attempts,
+                    failed=driver.failed,
+                    fail_time=driver.fail_time,
+                    lost_work=driver.lost_work,
                 )
             )
         if self.config.isolated_baselines:
@@ -754,6 +914,11 @@ def isolated_jct(
         warmup_time=0.0,
         measure_time=None,
         outcome_cap=None,
+        # Faults belong to the shared run too: rho compares the contended
+        # run against a *healthy* solo run, so degradation shows up in the
+        # numerator only.
+        link_faults=None,
+        job_faults=None,
     )
     solo = ClusterSimulator(topology, [spec.at_arrival(0.0)], solo_config)
     return solo.run().jobs[0].jct

@@ -1,6 +1,13 @@
 """Experiment harnesses regenerating every paper figure and table."""
 
 from .cluster_contention import ClusterContentionResult, run_cluster_contention
+from .degraded import (
+    DEGRADED_SEVERITIES,
+    DegradedComparisonResult,
+    degraded_sweep,
+    degraded_trace,
+    run_degraded_comparison,
+)
 from .fairness import (
     FAIRNESS_VARIANTS,
     FairnessComparisonResult,
@@ -53,6 +60,11 @@ __all__ = [
     "PlacementComparisonResult",
     "PLACEMENT_VARIANTS",
     "placement_trace",
+    "run_degraded_comparison",
+    "DegradedComparisonResult",
+    "DEGRADED_SEVERITIES",
+    "degraded_sweep",
+    "degraded_trace",
     "Fig4Result",
     "Fig5Result",
     "Fig8Result",

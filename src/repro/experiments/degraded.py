@@ -1,0 +1,257 @@
+"""Themis-under-misbehaving-networks: scheduler comparison on a degraded ring.
+
+The robustness experiment the fault-injection layer exists for: the same
+contended trace runs on a platform whose *ring* dimension misbehaves at
+increasing severity —
+
+* **healthy** — no faults, the usual Themis-vs-Baseline comparison;
+* **soft-2x** — the ring persistently degrades to half its bandwidth
+  (a misbehaving switch, an oversubscribed optical link);
+* **hard-4x** — the ring runs at a quarter of its bandwidth;
+* **outage** — the ring fails completely mid-trace (capacity zero,
+  in-flight chunks parked) and recovers after a window.
+
+Every job's collectives span all dimensions, so the degraded ring sits on
+every critical path.  The expected shape of the result: **Baseline**'s
+static chunk schedule keeps feeding the ring its full share and the whole
+trace slows toward the ring's pace, while **Themis** sees the degraded
+capacity through its load tracker (planning runs against the scaled
+latency model) and shifts chunk load onto the healthy dimensions — so the
+Themis-over-Baseline mean-JCT gain should *grow* with severity, and
+Themis must win under at least one degraded-link scenario.  Both runs of
+the same variant are bit-identical: the fault schedule is part of the
+spec, and the whole experiment is deterministic from its fixed trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .. import api
+from ..analysis.tables import format_table, ms, ratio
+from ..cluster import ClusterReport, JobSpec
+from ..errors import ConfigError
+from ..topology import Topology
+from ..training.iteration import TrainingConfig
+from ..workloads import Workload, flood
+from .fairness import _training_fields
+
+#: Dimension index degraded by the built-in severities (the ring of the
+#: default ``3D-FC_Ring_SW`` platform).
+RING_DIM = 1
+
+#: ``(severity name, FaultSpec payload)`` in presentation order.  ``None``
+#: is the healthy control; each payload degrades :data:`RING_DIM` only,
+#: so the platform's other dimensions stay trustworthy.
+DEGRADED_SEVERITIES: tuple[tuple[str, dict | None], ...] = (
+    ("healthy", None),
+    (
+        "soft-2x",
+        {"links": [{"dim_index": RING_DIM, "start": 0.0, "factor": 0.5}]},
+    ),
+    (
+        "hard-4x",
+        {"links": [{"dim_index": RING_DIM, "start": 0.0, "factor": 0.25}]},
+    ),
+    (
+        "outage",
+        {
+            "links": [
+                {
+                    "dim_index": RING_DIM,
+                    "start": 5e-4,
+                    "factor": 0.0,
+                    "duration": 2e-3,
+                    "label": "ring outage",
+                }
+            ]
+        },
+    ),
+)
+
+#: Per-job collective schedulers compared (the paper's axis).
+DEGRADED_SCHEDULERS: tuple[str, ...] = ("baseline", "themis")
+
+
+def _tenant(index: int, scale: float) -> Workload:
+    """Comm-bound tenant: its JCT tracks whatever the network delivers."""
+    return flood(6, 8 * scale, f"tenant{index}")
+
+
+def degraded_trace(scale: float = 1.0, n_jobs: int = 4) -> list[JobSpec]:
+    """``n_jobs`` comm-bound tenants with staggered arrivals.
+
+    All jobs span every platform dimension (no placement games — this
+    experiment isolates the *scheduler's* reaction to degradation), and
+    arrivals are staggered so early tenants are mid-collective when the
+    built-in outage severity cuts the ring.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    if n_jobs < 1:
+        raise ConfigError(f"need >= 1 jobs, got {n_jobs}")
+    gap = 2e-4
+    return [
+        JobSpec(
+            name=f"tenant{i}",
+            workload=_tenant(i, scale),
+            arrival_time=i * gap,
+            iterations=2,
+        )
+        for i in range(n_jobs)
+    ]
+
+
+@dataclass
+class DegradedComparisonResult:
+    """Cluster reports for one trace keyed by (severity, scheduler)."""
+
+    topology_name: str
+    reports: dict[tuple[str, str], ClusterReport] = field(default_factory=dict)
+
+    def report(self, severity: str, scheduler: str = "themis") -> ClusterReport:
+        return self.reports[(severity, scheduler)]
+
+    def mean_jct(self, severity: str, scheduler: str = "themis") -> float:
+        value = self.reports[(severity, scheduler)].mean_jct
+        assert value is not None  # every job completes in this experiment
+        return value
+
+    def themis_gain(self, severity: str) -> float:
+        """Baseline-over-Themis mean-JCT ratio at one severity (>1 = win)."""
+        return self.mean_jct(severity, "baseline") / self.mean_jct(
+            severity, "themis"
+        )
+
+    def degradation(self, severity: str, scheduler: str = "themis") -> float:
+        """Mean-JCT inflation of one severity over the healthy control —
+        the graceful-degradation curve (1.0 = the fault cost nothing)."""
+        return self.mean_jct(severity, scheduler) / self.mean_jct(
+            "healthy", scheduler
+        )
+
+    def render(self) -> str:
+        blocks = [
+            f"Degraded-network scheduler comparison on {self.topology_name}: "
+            f"one contended trace under {len(self.reports)} severity x "
+            "scheduler variants (the ring dimension misbehaves; "
+            "dim indices are 0-based)"
+        ]
+        for (severity, scheduler), report in self.reports.items():
+            blocks.append(f"\n[{severity} / {scheduler}]")
+            blocks.append(report.describe())
+        rows = []
+        for (severity, scheduler), report in self.reports.items():
+            rows.append(
+                (
+                    severity,
+                    scheduler,
+                    report.makespan,
+                    report.mean_jct,
+                    report.max_rho
+                    if report.max_rho is not None
+                    else float("nan"),
+                )
+            )
+        blocks.append(
+            "\nsummary:\n"
+            + format_table(
+                ["severity", "sched", "makespan", "mean JCT", "max rho"],
+                rows,
+                [str, str, ms, ms, ratio],
+                indent="  ",
+            )
+        )
+        severities = []
+        for severity, _scheduler in self.reports:
+            if severity not in severities:
+                severities.append(severity)
+        for severity in severities:
+            if all(
+                (severity, s) in self.reports
+                for s in ("baseline", "themis")
+            ):
+                blocks.append(
+                    f"  themis vs baseline ({severity}): mean JCT "
+                    f"{self.themis_gain(severity):.2f}x better"
+                )
+        return "\n".join(blocks)
+
+
+def degraded_sweep(
+    quick: bool = True,
+    topology_name: str = "3D-FC_Ring_SW",
+    severities: "tuple[tuple[str, dict | None], ...] | None" = None,
+    schedulers: tuple[str, ...] | None = None,
+    topology: Topology | None = None,
+    jobs: list[JobSpec] | None = None,
+    training: TrainingConfig | None = None,
+) -> "tuple[api.ClusterScenario, dict]":
+    """The declarative form of the comparison: base spec + fault axis.
+
+    The fault schedule is *part of the spec* (the ``faults`` field), so
+    severity is just another swept field: the whole experiment is one JSON
+    document plus two axes.  The scheduler axis couples every job's
+    ``scheduler`` field, comparing an all-Baseline against an all-Themis
+    cluster at each severity.
+    """
+    chosen = tuple(severities if severities is not None else DEGRADED_SEVERITIES)
+    if not chosen:
+        raise ConfigError("need at least one severity")
+    sched = tuple(schedulers or DEGRADED_SCHEDULERS)
+    trace = list(jobs) if jobs is not None else degraded_trace(
+        scale=1.0 if quick else 4.0
+    )
+    base = api.ClusterScenario(
+        topology=topology if topology is not None else topology_name,
+        jobs=tuple(api.ScenarioJob.from_jobspec(spec) for spec in trace),
+        faults=chosen[0][1],
+        **_training_fields(training),
+    )
+    axes: dict = {"faults": [payload for _name, payload in chosen]}
+    if len(sched) > 1 or sched[0] != trace[0].scheduler:
+        fields = tuple(f"jobs.{i}.scheduler" for i in range(len(trace)))
+        axes[fields] = [tuple([s] * len(trace)) for s in sched]
+    return base, axes
+
+
+def run_degraded_comparison(
+    quick: bool = True,
+    topology_name: str = "3D-FC_Ring_SW",
+    severities: "tuple[tuple[str, dict | None], ...] | None" = None,
+    schedulers: tuple[str, ...] | None = None,
+    topology: Topology | None = None,
+    jobs: list[JobSpec] | None = None,
+    training: TrainingConfig | None = None,
+) -> DegradedComparisonResult:
+    """Run the trace under each severity x scheduler and compare.
+
+    ``topology`` / ``jobs`` / ``training`` override the defaults (tests
+    pass tiny ones); ``severities`` / ``schedulers`` select subsets of
+    :data:`DEGRADED_SEVERITIES` / :data:`DEGRADED_SCHEDULERS`.  ``quick``
+    controls the trace's payload scale.
+    """
+    chosen = tuple(severities if severities is not None else DEGRADED_SEVERITIES)
+    base, axes = degraded_sweep(
+        quick=quick,
+        topology_name=topology_name,
+        severities=chosen,
+        schedulers=schedulers,
+        topology=topology,
+        jobs=jobs,
+        training=training,
+    )
+    grid = api.sweep(base, axes)
+    result = DegradedComparisonResult(
+        topology_name=grid.points[0].report.payload["topology"]
+    )
+    for point in grid:
+        payload = point.overrides["faults"]
+        severity = next(
+            name for name, candidate in chosen if candidate == payload
+        )
+        scheduler = point.overrides.get("jobs.0.scheduler")
+        if scheduler is None:
+            scheduler = base.jobs[0].scheduler
+        result.reports[(severity, scheduler)] = point.report.detail
+    return result

@@ -3,6 +3,15 @@
 from .audit import InvariantAuditor, InvariantViolation, audit_from_env, resolve_audit
 from .engine import EventHandle, EventQueue, times_close
 from .executor import ChannelStats, DimensionChannel, FusionConfig, OpState
+from .faults import (
+    MIN_CAPACITY_FACTOR,
+    FaultSchedule,
+    JobFaultPolicy,
+    LinkFault,
+    ScaledLatencyModel,
+    compose_factors,
+    fault_substream,
+)
 from .network import (
     CollectiveResult,
     ExecutionResult,
@@ -30,6 +39,13 @@ __all__ = [
     "OpState",
     "DimensionChannel",
     "ChannelStats",
+    "LinkFault",
+    "FaultSchedule",
+    "JobFaultPolicy",
+    "ScaledLatencyModel",
+    "MIN_CAPACITY_FACTOR",
+    "compose_factors",
+    "fault_substream",
     "NetworkSimulator",
     "IdealNetwork",
     "CollectiveResult",

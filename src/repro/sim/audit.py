@@ -357,13 +357,29 @@ class InvariantAuditor:
     def on_flows_rescheduled(
         self, channel: "DimensionChannel", flows: "dict[str, _FlowState]"
     ) -> None:
-        """After a reweight: rates positive, capacity respected."""
+        """After a reweight: rates positive, live capacity respected.
+
+        On a degraded wire the rates must sum to the live
+        ``capacity_factor`` rather than 1.0, and on a *failed* wire
+        (factor zero) every flow must be parked at rate exactly zero —
+        a positive rate there would drain bytes through a dead link.
+        """
         self.checks_run += 1
         if not flows:
             return
+        capacity = channel.capacity_factor
         total_rate = 0.0
         for owner, flow in flows.items():
-            if flow.rate <= 0.0:
+            if capacity <= 0.0:
+                if flow.rate != 0.0:
+                    raise InvariantViolation(
+                        "rate-capacity",
+                        f"tenant {owner!r} drains through a failed link",
+                        time=channel.engine.now,
+                        dim_index=channel.dim_index,
+                        context={"rate": flow.rate},
+                    )
+            elif flow.rate <= 0.0:
                 raise InvariantViolation(
                     "rate-capacity",
                     f"tenant {owner!r} assigned non-positive rate",
@@ -380,7 +396,7 @@ class InvariantAuditor:
                     context={"remaining": flow.remaining},
                 )
             total_rate += flow.rate
-        if total_rate > 1.0 + _RATE_ATOL:
+        if total_rate > capacity + _RATE_ATOL:
             raise InvariantViolation(
                 "rate-capacity",
                 "share-weight rates exceed channel capacity",
@@ -388,6 +404,29 @@ class InvariantAuditor:
                 dim_index=channel.dim_index,
                 context={
                     "total_rate": total_rate,
+                    "capacity_factor": capacity,
                     "tenants": sorted(flows),
                 },
             )
+
+    def on_capacity_change(
+        self, channel: "DimensionChannel", old: float, new: float
+    ) -> None:
+        """After a fault inject/restore: the factor stays in [0, 1] and the
+        change moved no bytes (conservation holds across the transition).
+
+        "Parked work resumes exactly once" needs no dedicated counter: a
+        double resume would double-credit :class:`ChannelStats` and trip
+        :meth:`_check_stats_balance` at idle, and a lost batch would leave
+        ``admitted > completed + outstanding`` in the conservation check.
+        """
+        self.checks_run += 1
+        if not 0.0 <= new <= 1.0 or new != new:
+            raise InvariantViolation(
+                "capacity-bounds",
+                f"capacity factor left [0, 1]: {old} -> {new}",
+                time=channel.engine.now,
+                dim_index=channel.dim_index,
+                context={"old": old, "new": new},
+            )
+        self._check_conservation(channel, self._ledger(channel), "capacity change")

@@ -34,6 +34,13 @@ fairness disciplines beyond the default serial (first-come) service
   whose priority strictly exceeds the running batch's pauses that batch;
   the remainder of its transfer is re-run later, with statistics adjusted
   so no byte or wire-second is lost or double-counted.
+
+Fault injection reuses the same machinery: the wire carries a live
+``capacity_factor`` (fraction of nominal bandwidth, see
+:mod:`repro.sim.faults`), :meth:`DimensionChannel.set_capacity_factor`
+re-segments in-flight work at the new rate through the generation-guarded
+rescheduling path, and a factor of zero parks everything in flight — a
+failed link loses no bytes, it just stops draining until restored.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from ..core.ready_queue import ReadyQueue
 from ..errors import ConfigError, SimulationError
 from ..topology import DimensionSpec
 from .engine import EventHandle, EventQueue
+from .faults import MIN_CAPACITY_FACTOR
 from .timeline import Interval, OpRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -299,6 +307,12 @@ class DimensionChannel:
         self._flows: dict[str, _FlowState] = {}
         self._running: _RunningBatch | None = None
         self._paused: list[_RunningBatch] = []
+        # --- fault machinery (capacity always nominal by default) ---------
+        #: Live capacity as a fraction of nominal: transfer work drains at
+        #: ``capacity_factor`` nominal-seconds per wall-second.  ``0.0`` is
+        #: a failed link — in-flight work parks (never lost) until restored.
+        #: Statistics stay in nominal seconds regardless of the factor.
+        self.capacity_factor = 1.0
         #: Optional runtime invariant auditor (see :mod:`repro.sim.audit`).
         #: Observer-only; attached by ``NetworkSimulator(audit=True)``.
         self.auditor: "InvariantAuditor | None" = None
@@ -335,6 +349,78 @@ class DimensionChannel:
     def enable_preemption(self) -> None:
         """Let strictly higher-priority arrivals pause the running batch."""
         self.preemption_enabled = True
+
+    # --- fault injection ---------------------------------------------------
+    def set_capacity_factor(self, factor: float) -> None:
+        """Change the wire's live capacity mid-run (fault inject/restore).
+
+        ``factor`` is the fraction of nominal bandwidth the dimension now
+        carries (``1.0`` = healthy, ``0.0`` = failed).  In-flight work is
+        re-segmented at the new rate through the same generation-guarded
+        path preemption uses, so byte/seconds accounting is conserved
+        across the change: the done part of the current segment stays
+        credited, the leftover is debited and re-credited when its new
+        segment (or its park/resume cycle) runs.  At ``0.0`` the in-flight
+        batch parks (serial wire) or every flow's rate drops to zero with
+        progress banked (shared wire); nothing is lost and nothing drains
+        until a later call restores capacity.
+        """
+        if factor < 0.0:
+            raise ConfigError(
+                f"dim{self.dim_index}: capacity factor must be >= 0, "
+                f"got {factor}"
+            )
+        if factor > 1.0:
+            raise ConfigError(
+                f"dim{self.dim_index}: capacity factor must be <= 1 "
+                f"(degradation cannot exceed nominal), got {factor}"
+            )
+        if factor != 0.0 and factor < MIN_CAPACITY_FACTOR:
+            factor = 0.0  # near-zero capacity behaves as a failure
+        old = self.capacity_factor
+        if factor == old:
+            return
+        if self.share_weights is not None:
+            self.capacity_factor = factor
+            self._reschedule_flows()
+            if self.auditor is not None:
+                self.auditor.on_capacity_change(self, old, factor)
+            self.try_start()
+            return
+        # Serial wire: close the running segment at the old rate, then
+        # either restart the leftover at the new rate or park it.
+        running = self._running
+        if running is not None and self.busy:
+            now = self.engine.now
+            done = (now - running.segment_start) * old
+            remaining = running.remaining - done
+            if remaining > 1e-18:
+                running.generation += 1
+                self.engine.cancel(running.complete_handle)
+                self.engine.cancel(running.release_handle)
+                frac = remaining / running.transfer_total
+                self.stats.busy_seconds -= remaining
+                self.stats.transfer_seconds -= remaining
+                self.stats.fixed_seconds -= running.fixed
+                self.stats.bytes_sent -= running.bytes_total * frac
+                running.remaining = remaining
+                self.busy = False
+                self._running = None
+                self.capacity_factor = factor
+                if factor > 0.0:
+                    self._start_segment(running)
+                else:
+                    self._paused.append(running)
+                    self._update_activity()
+                if self.auditor is not None:
+                    self.auditor.on_capacity_change(self, old, factor)
+                self.try_start()
+                return
+            # else: segment effectively done — let its pending events fire.
+        self.capacity_factor = factor
+        if self.auditor is not None:
+            self.auditor.on_capacity_change(self, old, factor)
+        self.try_start()
 
     def _weight(self, owner: str) -> float:
         assert self.share_weights is not None
@@ -446,6 +532,8 @@ class DimensionChannel:
 
     def try_start(self) -> None:
         """Start the next batch/flow if the wire discipline allows one."""
+        if self.capacity_factor <= 0.0:
+            return  # failed link: ready/parked work waits for restoration
         if self.share_weights is not None:
             self._try_start_shared()
             return
@@ -525,7 +613,14 @@ class DimensionChannel:
         across all segments each batch contributes exactly its transfer
         seconds and bytes once.  The fixed-latency shadow is paid at the end
         of the final segment.
+
+        ``remaining`` is nominal transfer work; a degraded wire drains it at
+        ``capacity_factor`` work-seconds per wall-second, so the segment's
+        wall time is ``remaining / capacity_factor`` (exactly ``remaining``
+        at nominal capacity — division by 1.0 is lossless).  Statistics stay
+        in nominal seconds.
         """
+        assert self.capacity_factor > 0.0  # failed links park, never start
         now = self.engine.now
         running.segment_start = now
         remaining = running.remaining
@@ -540,7 +635,8 @@ class DimensionChannel:
         self.stats.transfer_seconds += remaining
         self.stats.fixed_seconds += running.fixed
         self.stats.bytes_sent += running.bytes_total * frac
-        end = now + running.fixed + remaining
+        wall = remaining / self.capacity_factor
+        end = now + running.fixed + wall
         for op in running.batch:
             op.end_time = end
         self._update_activity()
@@ -552,7 +648,7 @@ class DimensionChannel:
             end, lambda: self._complete(running, generation)
         )
         running.release_handle = self.engine.schedule(
-            now + remaining, lambda: self._release_wire(running, generation)
+            now + wall, lambda: self._release_wire(running, generation)
         )
 
     def _preempt_running(self) -> None:
@@ -567,7 +663,8 @@ class DimensionChannel:
         running = self._running
         assert running is not None
         now = self.engine.now
-        remaining = running.remaining - (now - running.segment_start)
+        done = (now - running.segment_start) * self.capacity_factor
+        remaining = running.remaining - done
         if remaining <= 1e-18:
             return  # the segment is done; the wire releases this instant
         running.generation += 1
@@ -675,10 +772,19 @@ class DimensionChannel:
                     0.0, flow.remaining - flow.rate * (now - flow.last_update)
                 )
             flow.last_update = now
-            flow.rate = self._weight(flow.owner) / total
+            # A degraded wire splits its *live* capacity by weight; at
+            # nominal capacity the multiplication by 1.0 is lossless, so
+            # fault-free timelines are bit-identical to the pre-fault code.
+            flow.rate = self.capacity_factor * self._weight(flow.owner) / total
             flow.generation += 1
             generation = flow.generation
             self.engine.cancel(flow.finish_handle)
+            if flow.rate <= 0.0:
+                # Failed link: the flow parks with its progress banked.  No
+                # finish event is armed (there is no finite finish time);
+                # restoring capacity reschedules every parked flow here.
+                flow.finish_handle = None
+                continue
             finish = now + flow.remaining / flow.rate
             flow.finish_handle = self.engine.schedule(
                 finish,

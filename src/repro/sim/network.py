@@ -32,6 +32,12 @@ from ..topology import Topology
 from .audit import InvariantAuditor, resolve_audit
 from .engine import EventQueue
 from .executor import DimensionChannel, FusionConfig, OpState
+from .faults import (
+    FaultSchedule,
+    LinkFault,
+    ScaledLatencyModel,
+    compose_factors,
+)
 from .timeline import Interval, OpRecord, merge_intervals, total_length
 
 
@@ -270,6 +276,16 @@ class NetworkSimulator:
         self._owner_inflight: dict[str, int] = {}
         self._owner_active_since: dict[str, float] = {}
         self._owner_active: dict[str, list[Interval]] = {}
+        # --- fault injection -------------------------------------------------
+        #: Applied capacity changes, in order: ``(time, dim, new factor)``.
+        self.fault_timeline: list[tuple[float, int, float]] = []
+        #: Per-dimension live faults (fault id -> factor); overlapping
+        #: faults compose as the product, recomputed from the survivors at
+        #: every start/end (never divided out).
+        self._active_faults: list[dict[int, float]] = [
+            {} for _ in self.channels
+        ]
+        self._fault_seq = 0
 
     # --- fairness (multi-tenant wire disciplines) ---------------------------
     def set_tenant_weights(
@@ -323,6 +339,57 @@ class NetworkSimulator:
     def preemption_count(self) -> int:
         """Total batch preemptions across all dimensions."""
         return sum(channel.preemption_count for channel in self.channels)
+
+    # --- fault injection ----------------------------------------------------
+    def apply_fault(self, fault: LinkFault) -> None:
+        """Schedule one capacity fault (and its restoration) on the engine.
+
+        At ``fault.start`` the dimension's capacity factor becomes the
+        product of every fault live on it; at ``fault.end`` (if any) the
+        product of the survivors is recomputed and re-applied.  In-flight
+        work re-segments at each change via
+        :meth:`DimensionChannel.set_capacity_factor`; a factor of zero
+        parks it until a restore.  Themis's per-request load tracker plans
+        against the degraded :class:`ScaledLatencyModel` while the fault is
+        live — bandwidth awareness is exactly what is under test here.
+        """
+        if not 0 <= fault.dim_index < len(self.channels):
+            raise ConfigError(
+                f"fault targets dimension {fault.dim_index} but the "
+                f"topology has {len(self.channels)} dimension(s)"
+            )
+        if fault.start < self.engine.now:
+            raise ConfigError(
+                f"fault starts at {fault.start} but the simulation is "
+                f"already at {self.engine.now}"
+            )
+        fault_id = self._fault_seq
+        self._fault_seq += 1
+        self.engine.schedule(
+            fault.start, lambda: self._fault_begin(fault_id, fault)
+        )
+        end = fault.end
+        if end is not None:
+            self.engine.schedule(end, lambda: self._fault_end(fault_id, fault))
+
+    def apply_fault_schedule(self, schedule: FaultSchedule) -> None:
+        """Apply every event of a :class:`FaultSchedule` (validated against
+        this topology's dimension count)."""
+        for fault in schedule.restricted_to(len(self.channels)).events:
+            self.apply_fault(fault)
+
+    def _fault_begin(self, fault_id: int, fault: LinkFault) -> None:
+        self._active_faults[fault.dim_index][fault_id] = fault.factor
+        self._apply_capacity(fault.dim_index)
+
+    def _fault_end(self, fault_id: int, fault: LinkFault) -> None:
+        self._active_faults[fault.dim_index].pop(fault_id, None)
+        self._apply_capacity(fault.dim_index)
+
+    def _apply_capacity(self, dim_index: int) -> None:
+        factor = compose_factors(self._active_faults[dim_index])
+        self.fault_timeline.append((self.engine.now, dim_index, factor))
+        self.channels[dim_index].set_capacity_factor(factor)
 
     # --- submission ---------------------------------------------------------
     def submit(
@@ -406,6 +473,13 @@ class NetworkSimulator:
         subtopo, model = self._resolve_subtopology(request)
         factory = scheduler_factory or self.scheduler_factory
         plan_key = self._plan_key(request, factory)
+        # Live capacity factors are part of the planning input: a degraded
+        # dimension must look expensive to a bandwidth-aware scheduler, so
+        # plans made under different fault states never share a cache slot.
+        factors = tuple(channel.capacity_factor for channel in self.channels)
+        degraded = any(factor != 1.0 for factor in factors)
+        if degraded and plan_key is not None:
+            plan_key = plan_key + (factors,)
         cached = self._plan_cache.get(plan_key) if plan_key is not None else None
         if cached is not None:
             # The chunk schedules are shared; only the identity fields are
@@ -415,8 +489,16 @@ class NetworkSimulator:
             )
         else:
             scheduler = factory.create()
+            plan_model = model
+            if degraded:
+                local = tuple(
+                    factors[subtopo.parent_index(i)]
+                    for i in range(subtopo.ndims)
+                )
+                if any(factor != 1.0 for factor in local):
+                    plan_model = ScaledLatencyModel(model, local)
             plan = scheduler.plan(
-                request, subtopo, model, issue_time=self.engine.now
+                request, subtopo, plan_model, issue_time=self.engine.now
             )
             if plan_key is not None:
                 self._plan_cache[plan_key] = plan
@@ -543,9 +625,20 @@ class NetworkSimulator:
         """Run the engine to quiescence and package the results."""
         self.engine.run(max_events=max_events)
         if self._states:
+            dead = [
+                channel.dim_index
+                for channel in self.channels
+                if channel.capacity_factor <= 0.0
+            ]
+            hint = (
+                f"; dimension(s) {dead} have zero capacity (failed links "
+                "with no restore event) — in-flight work is parked forever"
+                if dead
+                else ""
+            )
             raise SimulationError(
                 f"{len(self._states)} collectives never completed "
-                "(deadlock or missing events)"
+                f"(deadlock or missing events){hint}"
             )
         return self.result()
 

@@ -189,6 +189,24 @@ class TrainingLoop:
         self._deferred_dp: list[float] = []
         self.collectives_issued = 0
 
+    def reset_attempt(self) -> None:
+        """Drop mid-iteration communication state after a job crash.
+
+        The cluster fault layer aborts an attempt between steps: any
+        in-flight collectives keep draining on the shared network (their
+        bytes were already injected; the aborted driver ignores their
+        completions), but the loop's per-iteration bookkeeping must not
+        leak into the retry — a stale async handle would either be waited
+        on spuriously or trip the unawaited-collectives check at the next
+        iteration boundary.  ``collectives_issued`` stays cumulative
+        across attempts (it counts submissions, not useful work).
+        """
+        self._async_handles.clear()
+        self._dp_handles.clear()
+        self._dp_bucket = 0.0
+        self._dp_bucket_sizes.clear()
+        self._deferred_dp.clear()
+
     # --- low-level helpers ---------------------------------------------------
     def _scope_fields(self, scope: CommScope | None) -> dict:
         """Translate a plan scope (job-local dims) to platform dims."""
