@@ -276,6 +276,61 @@ def run_degraded(n_jobs: int = 16) -> dict:
     return row
 
 
+def run_backend_fidelity(n_jobs: int = 8) -> dict:
+    """One contended cell at analytical vs packet fidelity.
+
+    Tracks the packet backend's wall-time cost relative to the default
+    analytical model on the same trace, plus the simulated-outcome
+    divergence (the fidelity tax the docs quote).  Informational only:
+    lives under its own document key, so ``check_regression.py`` (which
+    walks ``results``) ignores it.
+    """
+    rows = {}
+    for backend in ("analytical", "packet"):
+        config = ClusterConfig(
+            training=TrainingConfig(chunks_per_collective=8),
+            isolated_baselines=False,
+            backend=backend,
+        )
+        jobs = make_jobs(n_jobs, iterations=2)
+        sim = ClusterSimulator(bench_topology(), jobs, config)
+        start = time.perf_counter()
+        report = sim.run()
+        wall = time.perf_counter() - start
+        engine = sim.engine
+        rows[backend] = {
+            "jobs": n_jobs,
+            "wall_seconds": wall,
+            "events": engine.events_processed,
+            "events_per_second": (
+                engine.events_processed / wall if wall > 0 else 0.0
+            ),
+            "makespan": report.makespan,
+            "mean_jct": report.mean_jct,
+        }
+    assert rows["analytical"]["mean_jct"] is not None
+    assert rows["packet"]["mean_jct"] is not None
+    slowdown = (
+        rows["packet"]["wall_seconds"] / rows["analytical"]["wall_seconds"]
+        if rows["analytical"]["wall_seconds"] > 0
+        else 0.0
+    )
+    divergence = rows["packet"]["mean_jct"] / rows["analytical"]["mean_jct"]
+    print(
+        f"backend_fidelity {n_jobs:3d} jobs  "
+        f"analytical wall={rows['analytical']['wall_seconds'] * 1000:8.1f}ms "
+        f"packet wall={rows['packet']['wall_seconds'] * 1000:8.1f}ms "
+        f"({slowdown:.2f}x)  mean-JCT ratio={divergence:.3f}",
+        flush=True,
+    )
+    return {
+        "analytical": rows["analytical"],
+        "packet": rows["packet"],
+        "wall_slowdown": slowdown,
+        "mean_jct_ratio": divergence,
+    }
+
+
 def run_matrix(
     job_counts: tuple[int, ...],
     policies: tuple[str, ...],
@@ -285,6 +340,7 @@ def run_matrix(
     compare_legacy: bool = False,
     open_loop_arrivals: "int | None" = DEFAULT_OPEN_LOOP_ARRIVALS,
     degraded_jobs: "int | None" = 16,
+    backend_fidelity_jobs: "int | None" = 8,
 ) -> dict:
     """Run the sweep; returns the JSON-ready result document."""
     isolated_cache: dict = {}
@@ -337,6 +393,7 @@ def run_matrix(
             "compare_legacy": compare_legacy,
             "open_loop_arrivals": open_loop_arrivals,
             "degraded_jobs": degraded_jobs,
+            "backend_fidelity_jobs": backend_fidelity_jobs,
         },
         "results": cells,
         "open_loop": (
@@ -346,6 +403,11 @@ def run_matrix(
         ),
         "degraded": (
             run_degraded(degraded_jobs) if degraded_jobs is not None else None
+        ),
+        "backend_fidelity": (
+            run_backend_fidelity(backend_fidelity_jobs)
+            if backend_fidelity_jobs is not None
+            else None
         ),
     }
 
@@ -407,18 +469,28 @@ def main(argv: list[str] | None = None) -> dict:
         help="job count of the faulted (link-degraded + crash/retry) row; "
              "0 skips it (default: %(default)s; --quick reduces it to 8)",
     )
+    parser.add_argument(
+        "--backend-fidelity-jobs",
+        type=int,
+        default=8,
+        help="job count of the analytical-vs-packet fidelity row; 0 skips "
+             "it (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     job_counts = tuple(int(n) for n in args.jobs.split(","))
     policies = tuple(p.strip() for p in args.policies.split(","))
     open_loop_arrivals = args.open_loop_arrivals or None
     degraded_jobs = args.degraded_jobs or None
+    backend_fidelity_jobs = args.backend_fidelity_jobs or None
     if args.quick:
         job_counts = tuple(n for n in job_counts if n <= 16) or (8, 16)
         if open_loop_arrivals is not None:
             open_loop_arrivals = min(open_loop_arrivals, 2000)
         if degraded_jobs is not None:
             degraded_jobs = min(degraded_jobs, 8)
+        if backend_fidelity_jobs is not None:
+            backend_fidelity_jobs = min(backend_fidelity_jobs, 4)
     document = run_matrix(
         job_counts,
         policies,
@@ -427,6 +499,7 @@ def main(argv: list[str] | None = None) -> dict:
         compare_legacy=args.compare_legacy,
         open_loop_arrivals=open_loop_arrivals,
         degraded_jobs=degraded_jobs,
+        backend_fidelity_jobs=backend_fidelity_jobs,
     )
     if args.json:
         Path(args.json).write_text(json.dumps(document, indent=2) + "\n")

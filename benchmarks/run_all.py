@@ -52,6 +52,7 @@ def main(argv: list[str] | None = None) -> None:
         compare_legacy=args.compare_legacy,
         open_loop_arrivals=open_loop_arrivals,
         degraded_jobs=8 if args.quick else 16,
+        backend_fidelity_jobs=4 if args.quick else 8,
     )
     if args.json:
         out_dir = Path(args.out)

@@ -16,7 +16,7 @@ them behind one surface:
   accessors and every spec/CLI key lookup see it.
 
 Kinds: ``topology``, ``workload``, ``collective``, ``scheduler``,
-``policy``, ``fairness``, ``placement``, ``algorithm``.
+``policy``, ``fairness``, ``placement``, ``algorithm``, ``backend``.
 """
 
 from __future__ import annotations
@@ -33,6 +33,7 @@ from ..collectives.types import CollectiveType
 from ..core import policies as _policies
 from ..core.scheduler import SchedulerFactory
 from ..errors import ReproError, SpecError
+from ..sim import backends as _backends
 from ..topology import presets as _presets
 from ..workloads import get_workload, register_workload, workload_names
 
@@ -96,6 +97,10 @@ _KINDS: dict[str, _Kind] = {
         "algorithm", _algorithms.get_algorithm,
         _algorithms.algorithm_names, _algorithms.register_algorithm,
         casefold=False,
+    ),
+    "backend": _Kind(
+        "backend", _backends.get_backend,
+        _backends.backend_names, _backends.register_backend,
     ),
 }
 

@@ -127,17 +127,19 @@ def _run_training(
         config=config,
         ideal_network=spec.ideal_network,
         audit=audit,
+        backend=spec.backend,
+        backend_options=spec.backend_options,
     )
     if spec.faults is not None:
-        # Spec validation already rejected ideal_network + faults, so the
-        # network here is always the simulated one with real channels.
+        # Spec validation already rejected fault-incapable backends, so
+        # the network here always has real links to degrade.
         schedule, _ = spec.faults.to_runtime()
         if schedule is not None:
             sim.network.apply_fault_schedule(schedule)
     report = sim.run()
     per_dim = None
     if (
-        isinstance(sim.network, NetworkSimulator)
+        getattr(sim.network, "provides_result", False)
         and sim.loop.collectives_issued
     ):
         network_result = sim.network.result()
@@ -157,6 +159,7 @@ def _run_training(
             "scheduler": spec.scheduler,
             "scheduler_label": report.scheduler_name,
             "policy": spec.policy,
+            "backend": sim.backend_name,
             "iterations": len(report.iterations),
             "collective_count": report.collective_count,
             "fwd_compute": total.fwd_compute,
@@ -216,6 +219,8 @@ def _run_cluster(
         convergence_epochs=spec.convergence_epochs,
         link_faults=link_faults,
         job_faults=job_faults,
+        backend=spec.backend,
+        backend_options=spec.backend_options,
     )
     isolated_cache = None
     if context is not None:
@@ -230,6 +235,10 @@ def _run_cluster(
                 "chunks": spec.chunks,
                 "overlap_dp": spec.overlap_dp,
                 "dp_bucket_bytes": spec.dp_bucket_bytes,
+                # Isolated JCTs are fidelity-specific: a backend sweep must
+                # not reuse another backend's solo baselines.
+                "backend": spec.backend,
+                "backend_options": spec.backend_options,
             },
             sort_keys=True,
         )
@@ -283,6 +292,7 @@ def _run_cluster(
     utilization = report.utilization
     payload = {
         "topology": report.topology_name,
+        "backend": sim.backend_name,
         "jobs": job_rows,
         "job_rows_omitted": max(0, len(report.jobs) - _JOB_ROW_CAP),
         "total_jobs": report.total_jobs,

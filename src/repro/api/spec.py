@@ -100,6 +100,40 @@ def _validate_collective(key: str) -> str:
     return key
 
 
+def _validate_backend(
+    backend: "str | None",
+    backend_options: "dict | None",
+    *,
+    ideal_network: bool = False,
+    where: str,
+) -> Any:
+    """Resolve + capability-check a scenario's network backend fields.
+
+    Returns the backend implementation (its capability flags drive the
+    caller's combination checks).  ``backend_options`` go through the
+    backend's own validator, so a packet-option typo is a load-time
+    :class:`SpecError` with the backend's did-you-mean hint.
+    """
+    from ..errors import ConfigError
+    from ..sim.backends import get_backend, resolve_backend_key
+
+    if backend is not None:
+        validate_key("backend", backend)
+    if ideal_network and backend not in (None, "ideal"):
+        raise SpecError(
+            f"{where}: ideal_network=true conflicts with "
+            f"backend={backend!r}; ideal_network is an alias for "
+            "backend='ideal'"
+        )
+    impl = get_backend(resolve_backend_key(backend, ideal_network=ideal_network))
+    if backend_options:
+        try:
+            impl.validate_options(backend_options)
+        except ConfigError as error:
+            raise SpecError(f"{where}: backend_options: {error}") from None
+    return impl
+
+
 def _validate_topology(value: Any) -> Any:
     """A topology is a preset key or an inline serialized dict."""
     if isinstance(value, Topology):  # convenience: accept live objects
@@ -169,6 +203,11 @@ def _set_dotted(data: Any, path: str, value: Any) -> None:
                     f"override path {path!r}: unknown key {part!r}"
                     f"{did_you_mean(part, tuple(target))}"
                 )
+            if target[part] is None:
+                # Vivify optional dict-valued fields (e.g. a null
+                # ``backend_options``) so ``--set backend_options.mtu_bytes``
+                # works without first setting the whole container.
+                target[part] = {}
             target = target[part]
         else:
             prefix = ".".join(parts[:depth])
@@ -763,21 +802,36 @@ class TrainingScenario(ScenarioSpec):
     #: Link-degradation schedule for the private network.  Job-crash knobs
     #: (``crash_rate``) are a cluster concept and rejected here.
     faults: "FaultSpec | None" = None
+    #: Network-fidelity backend key (``None`` = the analytical default;
+    #: ``ideal_network: true`` is the legacy alias for ``"ideal"``).
+    backend: "str | None" = None
+    #: Backend-specific knobs (e.g. the packet backend's ``mtu_bytes``).
+    backend_options: "dict | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload_args", dict(self.workload_args))
         if isinstance(self.faults, dict):  # convenience: accept dicts
             object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+        if self.backend_options is not None:
+            object.__setattr__(
+                self, "backend_options", dict(self.backend_options)
+            )
+        impl = _validate_backend(
+            self.backend,
+            self.backend_options,
+            ideal_network=self.ideal_network,
+            where="TrainingScenario",
+        )
         if self.faults is not None:
             if self.faults.crash_rate is not None:
                 raise SpecError(
                     "a training scenario runs one job to completion; "
                     "faults.crash_rate only applies to cluster scenarios"
                 )
-            if self.ideal_network:
+            if not impl.supports_faults:
                 raise SpecError(
-                    "ideal_network has no links to degrade; remove 'faults' "
-                    "or use the simulated network"
+                    f"the {impl.key!r} backend has no links to degrade; "
+                    "remove 'faults' or use a fault-capable backend"
                 )
         object.__setattr__(
             self, "workload", _validate_workload(self.workload, self.workload_args)
@@ -845,6 +899,10 @@ class ClusterScenario(ScenarioSpec):
     #: Fault injection: link degradation schedule and/or job crash policy
     #: (``None`` = healthy network, crash-free jobs).
     faults: "FaultSpec | None" = None
+    #: Network-fidelity backend key (``None`` = the analytical default).
+    backend: "str | None" = None
+    #: Backend-specific knobs (e.g. the packet backend's ``mtu_bytes``).
+    backend_options: "dict | None" = None
 
     def __post_init__(self) -> None:
         from collections import Counter
@@ -911,8 +969,31 @@ class ClusterScenario(ScenarioSpec):
             raise SpecError(
                 f"convergence_epochs must be >= 1, got {self.convergence_epochs}"
             )
+        if self.backend_options is not None:
+            object.__setattr__(
+                self, "backend_options", dict(self.backend_options)
+            )
+        impl = _validate_backend(
+            self.backend, self.backend_options, where="ClusterScenario"
+        )
+        if not impl.supports_cluster:
+            raise SpecError(
+                f"the {impl.key!r} backend cannot run a shared multi-job "
+                "cluster; use 'analytical' or 'packet'"
+            )
         if self.fairness is not None:
             validate_key("fairness", self.fairness)
+            if not impl.supports_sharing:
+                from ..cluster.fairness import get_fairness
+
+                policy = get_fairness(self.fairness)
+                if policy is not None and policy.requires_sharing:
+                    raise SpecError(
+                        f"fairness={self.fairness!r} needs the network's "
+                        "weighted-sharing/preemption hooks, which the "
+                        f"{impl.key!r} backend does not provide (FIFO "
+                        "wire); use backend='analytical'"
+                    )
         if self.placement is not None:
             validate_key("placement", self.placement)
         weighted = self.fairness == "weighted"

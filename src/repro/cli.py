@@ -19,6 +19,9 @@ Subcommands
 ``fig``
     Regenerate a paper figure (4, 5, 8, 9, 10, 11, 12) or the headline
     numbers.
+``registry``
+    List registered component keys by kind (``--kind backend`` shows the
+    network-fidelity backends with their descriptions).
 """
 
 from __future__ import annotations
@@ -247,19 +250,23 @@ def _cmd_train(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         overlap_dp=not args.sync_dp,
         dp_bucket_bytes=parse_size(args.bucket) if args.bucket else None,
+        backend=args.backend or None,
     )
     _maybe_show_spec(args, base)
     workload = get_workload(args.workload)
     print(workload.describe(get_topology(args.topology)))
     print()
-    grid = api.sweep(
-        base,
-        {
+    if args.backend:
+        # An explicit fidelity pins the backend axis: compare schedulers
+        # at that fidelity (the Ideal row belongs to the default sweep).
+        axes: dict = {"scheduler": ["baseline", "themis"]}
+    else:
+        axes = {
             "scheduler+ideal_network": [
                 ("baseline", False), ("themis", False), ("themis", True)
             ]
-        },
-    )
+        }
+    grid = api.sweep(base, axes)
     for point in grid:
         print(point.report.detail.describe())
     return 0
@@ -300,6 +307,7 @@ def _cmd_cluster_open_loop(args: argparse.Namespace) -> int:
         outcome_cap=args.outcome_cap,
         isolated_per_iteration=True,
         faults=_fault_payload(args),
+        backend=args.backend or None,
     )
     _maybe_show_spec(args, spec)
     print(api.run(spec).detail.describe())
@@ -308,6 +316,14 @@ def _cmd_cluster_open_loop(args: argparse.Namespace) -> int:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     faults = _fault_payload(args)
+    if args.backend and (args.fairness or args.placement):
+        print(
+            "error: the --fairness/--placement comparisons run on the "
+            "analytical backend; drop --backend (or run a spec with "
+            "'backend' via 'run --spec')",
+            file=sys.stderr,
+        )
+        return 1
     if faults is not None and (args.fairness or args.placement):
         print(
             "error: --fairness/--placement run fixed healthy-network "
@@ -421,9 +437,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     workloads = tuple(
         name.strip() for name in args.workloads.split(",") if name.strip()
     )
-    if faults is not None:
-        # Fault injection runs the Poisson trace directly (one faulted
-        # cluster run) instead of the multi-scheduler contention experiment.
+    if faults is not None or args.backend:
+        # Fault injection (or a pinned network fidelity) runs the Poisson
+        # trace directly — one cluster run — instead of the
+        # multi-scheduler contention experiment.
         trace: dict = {
             "interarrival": args.interarrival_ms * 1e-3,
             "seed": args.seed,
@@ -433,7 +450,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if workloads:
             trace["workloads"] = workloads
         spec = api.ClusterScenario(
-            topology=args.topology, trace=trace, faults=faults
+            topology=args.topology,
+            trace=trace,
+            faults=faults,
+            backend=args.backend or None,
         )
         _maybe_show_spec(args, spec)
         print(api.run(spec).detail.describe())
@@ -484,6 +504,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         "11": lambda: experiments.run_fig11(quick=args.quick),
         "12": lambda: experiments.run_fig12(quick=args.quick),
         "headline": lambda: experiments.run_headline(quick=args.quick),
+        "fidelity": lambda: experiments.run_fidelity(quick=args.quick),
     }
     runner = runners.get(args.figure)
     if runner is None:
@@ -491,6 +512,31 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.figure!r}; known: {known}", file=sys.stderr)
         return 2
     print(runner().render())
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    kinds = api.registry_kinds()
+    if args.kind:
+        if args.kind not in kinds:
+            known = ", ".join(kinds)
+            print(f"unknown kind {args.kind!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        kinds = (args.kind,)
+    if args.json:
+        print(json.dumps({kind: list(api.registry_keys(kind))
+                          for kind in kinds}, indent=2))
+        return 0
+    from .sim.backends import get_backend
+
+    for kind in kinds:
+        print(f"{kind}:")
+        for key in api.registry_keys(kind):
+            if kind == "backend":
+                print(f"  {key:<12} {get_backend(key).description}")
+            else:
+                print(f"  {key}")
     return 0
 
 
@@ -554,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DP gradient bucket size ('' for per-layer)")
     train.add_argument("--sync-dp", action="store_true",
                        help="expose all DP comm at end of backprop (paper mode)")
+    train.add_argument("--backend", default="",
+                       help="network-fidelity backend (see 'registry --kind "
+                            "backend'); pins the Themis-vs-Baseline sweep to "
+                            "this backend instead of the default "
+                            "analytical+Ideal comparison")
     train.add_argument("--show-spec", action="store_true",
                        help="print the scenario spec this run maps to")
 
@@ -658,6 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "0, in-flight work parked) at START "
                                   "seconds, restoring after DURATION; "
                                   "repeatable")
+    cluster.add_argument("--backend", default="",
+                         help="network-fidelity backend for the arrival "
+                              "trace (see 'registry --kind backend'); not "
+                              "combinable with --fairness/--placement")
     cluster.add_argument("--show-spec", action="store_true",
                          help="print the scenario spec this run maps to")
 
@@ -669,9 +724,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print the scenario spec this run maps to")
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
-    fig.add_argument("figure", help="4, 5, 8, 9, 10, 11, 12, or 'headline'")
+    fig.add_argument("figure",
+                     help="4, 5, 8, 9, 10, 11, 12, 'headline', or "
+                          "'fidelity' (cross-backend check)")
     fig.add_argument("--full", dest="quick", action="store_false",
                      help="run the full (slow) sweep instead of quick mode")
+
+    registry = sub.add_parser(
+        "registry", help="list registered component keys by kind"
+    )
+    registry.add_argument("--kind", default="",
+                          help="show one kind only (topology, workload, "
+                               "scheduler, fairness, placement, backend, ...)")
+    registry.add_argument("--json", action="store_true",
+                          help="emit {kind: [keys]} as JSON")
     return parser
 
 
@@ -684,6 +750,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "provisioning": _cmd_provisioning,
     "fig": _cmd_fig,
+    "registry": _cmd_registry,
 }
 
 

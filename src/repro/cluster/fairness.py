@@ -48,6 +48,10 @@ class FairnessPolicy(abc.ABC):
     name: str = "abstract"
     #: Human-readable label for reports.
     label: str = "?"
+    #: Whether the policy drives the network's weighted-sharing /
+    #: preemption hooks — only the analytical backend has them (the spec
+    #: layer rejects such policies on other network backends up front).
+    requires_sharing: bool = False
 
     def prepare(self, cluster: "ClusterSimulator") -> None:
         """Configure ``cluster`` before its jobs start (engine at t=0)."""
@@ -85,6 +89,7 @@ class WeightedSharing(FairnessPolicy):
 
     name = "weighted"
     label = "Weighted shares"
+    requires_sharing = True
 
     def __init__(
         self,
@@ -155,6 +160,7 @@ class FinishTimeFairness(FairnessPolicy):
 
     name = "ftf"
     label = "Finish-time fair"
+    requires_sharing = True
 
     def __init__(
         self,
@@ -285,6 +291,7 @@ class PriorityPreemption(FairnessPolicy):
 
     name = "preempt"
     label = "Priority preemption"
+    requires_sharing = True
 
     def prepare(self, cluster: "ClusterSimulator") -> None:
         cluster.network.enable_preemption()

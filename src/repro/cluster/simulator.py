@@ -126,6 +126,12 @@ class ClusterConfig:
     #: :class:`repro.sim.faults.JobFaultPolicy`.  ``None`` = jobs never
     #: crash (today's behavior).
     job_faults: JobFaultPolicy | None = None
+    #: Network-fidelity backend key (``None`` = the analytical default;
+    #: see :mod:`repro.sim.backends`).  The isolated rho baselines run at
+    #: the same fidelity, so slowdown stays an apples-to-apples ratio.
+    backend: str | None = None
+    #: Backend-specific knobs (e.g. the packet backend's ``mtu_bytes``).
+    backend_options: dict | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent is not None and self.max_concurrent < 1:
@@ -491,7 +497,27 @@ class ClusterSimulator:
         self._isolated_cache = isolated_cache if isolated_cache is not None else {}
         self.engine = EventQueue(cancellation=self.config.optimized)
         self._splitter = Splitter(self.training_config.chunks_per_collective)
-        self.network = NetworkSimulator(
+        from ..sim.backends import get_backend, resolve_backend_key
+
+        self.backend_name = resolve_backend_key(self.config.backend)
+        backend_impl = get_backend(self.backend_name)
+        if not backend_impl.supports_cluster:
+            raise ConfigError(
+                f"the {self.backend_name!r} backend cannot run a shared "
+                "multi-job cluster; use 'analytical' or 'packet'"
+            )
+        if (
+            self.fairness is not None
+            and self.fairness.requires_sharing
+            and not backend_impl.supports_sharing
+        ):
+            raise ConfigError(
+                f"fairness policy {self.fairness.name!r} needs the "
+                "network's weighted-sharing/preemption hooks, which the "
+                f"{self.backend_name!r} backend does not provide; use "
+                "backend='analytical'"
+            )
+        self.network = backend_impl.build(
             topology,
             scheduler=SchedulerFactory("themis", splitter=self._splitter),
             policy=self.training_config.policy,
@@ -501,6 +527,7 @@ class ClusterSimulator:
             indexed_queues=self.config.optimized,
             plan_cache=self.config.optimized,
             audit=self.config.audit,
+            options=self.config.backend_options,
         )
         if self.config.link_faults is not None:
             self.network.apply_fault_schedule(self.config.link_faults)

@@ -14,6 +14,14 @@ from .fairness import (
     run_fairness_comparison,
     skewed_trace,
 )
+from .fidelity import (
+    FIDELITY_BACKENDS,
+    FIDELITY_SCHEDULERS,
+    FIDELITY_WORKLOADS,
+    FidelityResult,
+    fidelity_sweep,
+    run_fidelity,
+)
 from .fig4 import Fig4Result, run_fig4
 from .fig5 import Fig5Result, run_fig5
 from .fig8 import Fig8Result, run_fig8
@@ -65,6 +73,12 @@ __all__ = [
     "DEGRADED_SEVERITIES",
     "degraded_sweep",
     "degraded_trace",
+    "run_fidelity",
+    "fidelity_sweep",
+    "FidelityResult",
+    "FIDELITY_BACKENDS",
+    "FIDELITY_SCHEDULERS",
+    "FIDELITY_WORKLOADS",
     "Fig4Result",
     "Fig5Result",
     "Fig8Result",

@@ -1,6 +1,16 @@
 """Discrete-event network simulation substrate."""
 
 from .audit import InvariantAuditor, InvariantViolation, audit_from_env, resolve_audit
+from .backends import (
+    DEFAULT_BACKEND,
+    NetworkBackend,
+    PacketNetwork,
+    PacketOptions,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend_key,
+)
 from .engine import EventHandle, EventQueue, times_close
 from .executor import ChannelStats, DimensionChannel, FusionConfig, OpState
 from .faults import (
@@ -50,6 +60,14 @@ __all__ = [
     "IdealNetwork",
     "CollectiveResult",
     "ExecutionResult",
+    "NetworkBackend",
+    "PacketNetwork",
+    "PacketOptions",
+    "DEFAULT_BACKEND",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_key",
     "UtilizationReport",
     "bw_utilization",
     "activity_rate_series",

@@ -1,0 +1,51 @@
+"""Pluggable network-fidelity backends.
+
+See :mod:`repro.sim.backends.base` for the interface and
+``docs/backends.md`` for the fidelity/speed tradeoff.  The three
+built-ins register at import time; plugins add their own via
+``register_backend`` (or ``repro.api.register("backend", ...)``).
+"""
+
+from __future__ import annotations
+
+from .analytical import AnalyticalBackend
+from .base import (
+    DEFAULT_BACKEND,
+    NetworkBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend_key,
+)
+from .ideal import IdealBackend
+from .packet import (
+    ROUTING_MODES,
+    PacketBackend,
+    PacketNetwork,
+    PacketOptions,
+    lane_for_packet,
+    packetize,
+    service_packets,
+)
+
+register_backend(AnalyticalBackend.key, AnalyticalBackend())
+register_backend(IdealBackend.key, IdealBackend())
+register_backend(PacketBackend.key, PacketBackend())
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ROUTING_MODES",
+    "AnalyticalBackend",
+    "IdealBackend",
+    "NetworkBackend",
+    "PacketBackend",
+    "PacketNetwork",
+    "PacketOptions",
+    "backend_names",
+    "get_backend",
+    "lane_for_packet",
+    "packetize",
+    "register_backend",
+    "resolve_backend_key",
+    "service_packets",
+]

@@ -212,6 +212,12 @@ class NetworkSimulator:
         subclasses (e.g. replay factories) always plan afresh.
     """
 
+    #: Capability flags read by backend-agnostic callers (the training
+    #: loop checks ``accepts_scheduler`` before passing a per-request
+    #: factory; reporting checks ``provides_result`` before snapshotting).
+    accepts_scheduler = True
+    provides_result = True
+
     def __init__(
         self,
         topology: Topology,
@@ -704,6 +710,10 @@ class IdealNetwork:
     (they share the same wires, so a lower bound must still serialize their
     byte volumes).  Used for the Ideal bars of Fig. 12.
     """
+
+    #: The ideal server is schedule-free and exposes no execution trace.
+    accepts_scheduler = False
+    provides_result = False
 
     def __init__(self, topology: Topology, engine: EventQueue | None = None) -> None:
         self.topology = topology

@@ -33,7 +33,9 @@ from collections.abc import Callable, Iterator
 
 from ..collectives.types import CollectiveRequest, CollectiveType
 from ..core.scheduler import SchedulerFactory
-from ..errors import SimulationError, WorkloadError
+from ..errors import ConfigError, SimulationError, WorkloadError
+from ..sim.backends import get_backend, resolve_backend_key
+from ..sim.backends.packet import PacketNetwork
 from ..sim.engine import EventQueue
 from ..sim.executor import FusionConfig
 from ..sim.network import CollectiveResult, IdealNetwork, NetworkSimulator
@@ -155,7 +157,7 @@ class TrainingLoop:
         self,
         workload: Workload,
         platform: Topology,
-        network: NetworkSimulator | IdealNetwork,
+        network: NetworkSimulator | IdealNetwork | PacketNetwork,
         engine: EventQueue,
         config: TrainingConfig | None = None,
         *,
@@ -235,8 +237,8 @@ class TrainingLoop:
         kwargs: dict = {"at_time": self.engine.now}
         if self.on_collective_complete is not None:
             kwargs["on_complete"] = self.on_collective_complete
-        if self.scheduler_factory is not None and isinstance(
-            self.network, NetworkSimulator
+        if self.scheduler_factory is not None and getattr(
+            self.network, "accepts_scheduler", False
         ):
             kwargs["scheduler"] = self.scheduler_factory
         return self.network.submit(request, **kwargs)
@@ -365,36 +367,51 @@ class TrainingSimulator:
         config: TrainingConfig | None = None,
         ideal_network: bool = False,
         audit: bool | None = None,
+        backend: str | None = None,
+        backend_options: dict | None = None,
     ) -> None:
         self.workload = workload
         self.topology = topology
         self.config = config or TrainingConfig()
         self.engine = EventQueue()
-        if ideal_network:
-            self.network: NetworkSimulator | IdealNetwork = IdealNetwork(
-                topology, engine=self.engine
+        if ideal_network and backend not in (None, "ideal"):
+            raise ConfigError(
+                f"ideal_network=True conflicts with backend={backend!r}; "
+                "ideal_network is an alias for backend='ideal'"
             )
-            self.scheduler_name = "Ideal"
-        else:
-            if isinstance(scheduler, str):
-                from ..core.splitter import Splitter
+        self.backend_name = resolve_backend_key(
+            backend, ideal_network=ideal_network
+        )
+        impl = get_backend(self.backend_name)
+        if isinstance(scheduler, str):
+            from ..core.splitter import Splitter
 
-                scheduler = SchedulerFactory(
-                    scheduler,
-                    splitter=Splitter(self.config.chunks_per_collective),
-                )
-            self.network = NetworkSimulator(
+            scheduler = SchedulerFactory(
+                scheduler,
+                splitter=Splitter(self.config.chunks_per_collective),
+            )
+        self.network: NetworkSimulator | IdealNetwork | PacketNetwork = (
+            impl.build(
                 topology,
                 scheduler=scheduler,
                 policy=self.config.policy,
                 fusion=self.config.fusion,
                 engine=self.engine,
                 audit=audit,
+                options=backend_options,
             )
+        )
+        if not impl.accepts_scheduler:
+            self.scheduler_name = "Ideal"
+        else:
             policy_tag = self.config.policy.upper()
             base = scheduler.name
+            # The policy tag marks the analytical intra-dimension queue
+            # discipline; other fidelities have their own (e.g. FIFO wire).
             self.scheduler_name = (
-                f"{base}+{policy_tag}" if base == "Themis" else base
+                f"{base}+{policy_tag}"
+                if base == "Themis" and self.backend_name == "analytical"
+                else base
             )
         self.loop = TrainingLoop(
             workload, topology, self.network, self.engine, self.config
@@ -445,7 +462,10 @@ class TrainingSimulator:
             report.iterations.append(self._run_iteration())
         self.engine.run()  # drain any same-instant residue
         report.collective_count = self.loop.collectives_issued
-        if isinstance(self.network, NetworkSimulator) and self.loop.collectives_issued:
+        if (
+            getattr(self.network, "provides_result", False)
+            and self.loop.collectives_issued
+        ):
             result = self.network.result()
             report.avg_bw_utilization = bw_utilization(result).average
         return report
@@ -457,10 +477,13 @@ def simulate_training(
     scheduler: str = "themis",
     config: TrainingConfig | None = None,
     ideal_network: bool = False,
+    backend: str | None = None,
+    backend_options: dict | None = None,
 ) -> TrainingReport:
     """One-call convenience wrapper around :class:`TrainingSimulator`."""
     simulator = TrainingSimulator(
         workload, topology, scheduler=scheduler, config=config,
-        ideal_network=ideal_network,
+        ideal_network=ideal_network, backend=backend,
+        backend_options=backend_options,
     )
     return simulator.run()

@@ -43,7 +43,7 @@ class TestRegistry:
     def test_kinds(self):
         assert set(api.registry_kinds()) == {
             "topology", "workload", "collective", "scheduler", "policy",
-            "fairness", "placement", "algorithm",
+            "fairness", "placement", "algorithm", "backend",
         }
 
     def test_keys_delegate_to_domain_registries(self):

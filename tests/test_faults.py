@@ -493,7 +493,7 @@ class TestFaultSpec:
             api.TrainingScenario(faults={"crash_rate": 1.0})
 
     def test_training_rejects_ideal_network_faults(self):
-        with pytest.raises(SpecError, match="ideal_network"):
+        with pytest.raises(SpecError, match="no links to degrade"):
             api.TrainingScenario(
                 ideal_network=True,
                 faults={"straggler_dims": [0]},
