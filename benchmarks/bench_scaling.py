@@ -56,6 +56,14 @@ DEFAULT_POLICIES = ("fifo", "weighted", "ftf", "preempt")
 #: Arrivals in the open-loop throughput row (the bounded-memory headline:
 #: a single spec-driven run sustaining 10k arrivals with K live jobs).
 DEFAULT_OPEN_LOOP_ARRIVALS = 10_000
+#: Job counts of the fluid fast-path regime (open-loop arrivals per run).
+#: This is the backend's target envelope: runs two orders of magnitude
+#: larger than the fairness matrix above.  ``--quick`` keeps only the
+#: first entry, so the CI row stays a subset of the committed baseline.
+DEFAULT_FLUID_JOB_COUNTS = (512, 1024, 2048, 4096)
+#: Chunk count of the fluid-regime rows: large enough that the hybrid
+#: fluidizes the 2D bench plans ((ndims-1) <= tolerance x chunks).
+FLUID_CHUNKS = 64
 
 
 def bench_topology() -> Topology:
@@ -218,6 +226,100 @@ def run_open_loop(arrivals: int = DEFAULT_OPEN_LOOP_ARRIVALS) -> dict:
     return row
 
 
+def _fluid_open_loop_cell(arrivals: int, backend: str) -> dict:
+    """One open-loop cluster run at ``arrivals`` jobs under ``backend``."""
+    spec = api.ClusterScenario(
+        topology=topology_to_dict(bench_topology()),
+        open_loop=api.OpenLoopTrace(
+            rate=20_000.0,
+            duration=None,
+            max_jobs=arrivals,
+            seed=7,
+            mix={
+                "elephant_fraction": 0.0,
+                "mouse_layers": 1,
+                "mouse_param_mb": 1.0,
+                "max_iterations": 2,
+            },
+        ),
+        max_concurrent=8,
+        outcome_cap=100,
+        isolated_baselines=False,
+        chunks=FLUID_CHUNKS,
+        backend=backend,
+    )
+    start = time.perf_counter()
+    report = api.run(spec)
+    wall = time.perf_counter() - start
+    payload = report.payload
+    engine = payload["engine"]
+    assert payload["total_jobs"] == arrivals
+    return {
+        "jobs": arrivals,
+        "backend": backend,
+        "wall_seconds": wall,
+        "events": engine["events"],
+        "events_per_second": engine["events"] / wall if wall > 0 else 0.0,
+        "peak_pending_events": engine["peak_pending_events"],
+        "cancelled_events": engine["cancelled_events"],
+        "compactions": engine["compactions"],
+        "arrivals_per_second": arrivals / wall if wall > 0 else 0.0,
+        "makespan": report.makespan,
+        "mean_jct": payload["mean_jct"],
+    }
+
+
+def run_fluid_scaling(job_counts: tuple[int, ...]) -> dict:
+    """The fluid fast-path regime: 512-4096-job open-loop runs.
+
+    Each row is one open-loop cluster run under ``backend: "fluid"``; the
+    smallest size is additionally re-run under ``analytical`` on the same
+    trace to record the event-count ratio (the fast path's headline:
+    events eliminated while rates are stable).  Counter fields are
+    deterministic, so ``check_regression.py --counters-only`` gates these
+    rows alongside the fairness matrix.
+    """
+    rows = []
+    for arrivals in job_counts:
+        row = _fluid_open_loop_cell(arrivals, "fluid")
+        rows.append(row)
+        print(
+            f"fluid    {arrivals:5d} jobs  wall={row['wall_seconds'] * 1e3:8.1f}ms "
+            f"events={row['events']:8d} "
+            f"arrivals/s={row['arrivals_per_second'] / 1000:6.1f}k "
+            f"mean_jct={row['mean_jct']:.6f}",
+            flush=True,
+        )
+    ratio_jobs = job_counts[0]
+    exact = _fluid_open_loop_cell(ratio_jobs, "analytical")
+    fluid_row = rows[0]
+    event_ratio = (
+        exact["events"] / fluid_row["events"]
+        if fluid_row["events"] > 0
+        else 0.0
+    )
+    jct_ratio = (
+        fluid_row["mean_jct"] / exact["mean_jct"]
+        if exact["mean_jct"]
+        else None
+    )
+    print(
+        f"fluid-vs-exact {ratio_jobs:5d} jobs  "
+        f"exact events={exact['events']:8d} fluid events={fluid_row['events']:8d} "
+        f"({event_ratio:.1f}x fewer)  mean-JCT ratio="
+        f"{jct_ratio if jct_ratio is None else round(jct_ratio, 4)}",
+        flush=True,
+    )
+    return {
+        "job_counts": list(job_counts),
+        "chunks_per_collective": FLUID_CHUNKS,
+        "rows": rows,
+        "exact_reference": exact,
+        "event_ratio": event_ratio,
+        "mean_jct_ratio": jct_ratio,
+    }
+
+
 def run_degraded(n_jobs: int = 16) -> dict:
     """One faulted cluster run: link degradation + job crash/retry live.
 
@@ -341,6 +443,7 @@ def run_matrix(
     open_loop_arrivals: "int | None" = DEFAULT_OPEN_LOOP_ARRIVALS,
     degraded_jobs: "int | None" = 16,
     backend_fidelity_jobs: "int | None" = 8,
+    fluid_job_counts: "tuple[int, ...] | None" = DEFAULT_FLUID_JOB_COUNTS,
 ) -> dict:
     """Run the sweep; returns the JSON-ready result document."""
     isolated_cache: dict = {}
@@ -394,6 +497,9 @@ def run_matrix(
             "open_loop_arrivals": open_loop_arrivals,
             "degraded_jobs": degraded_jobs,
             "backend_fidelity_jobs": backend_fidelity_jobs,
+            "fluid_job_counts": (
+                list(fluid_job_counts) if fluid_job_counts else None
+            ),
         },
         "results": cells,
         "open_loop": (
@@ -408,6 +514,9 @@ def run_matrix(
             run_backend_fidelity(backend_fidelity_jobs)
             if backend_fidelity_jobs is not None
             else None
+        ),
+        "fluid_scaling": (
+            run_fluid_scaling(fluid_job_counts) if fluid_job_counts else None
         ),
     }
 
@@ -476,6 +585,13 @@ def main(argv: list[str] | None = None) -> dict:
         help="job count of the analytical-vs-packet fidelity row; 0 skips "
              "it (default: %(default)s)",
     )
+    parser.add_argument(
+        "--fluid-jobs",
+        default=",".join(str(n) for n in DEFAULT_FLUID_JOB_COUNTS),
+        help="comma-separated job counts of the fluid fast-path regime; "
+             "empty string skips it (default: %(default)s; --quick keeps "
+             "only the first entry so CI rows stay a baseline subset)",
+    )
     args = parser.parse_args(argv)
 
     job_counts = tuple(int(n) for n in args.jobs.split(","))
@@ -483,6 +599,11 @@ def main(argv: list[str] | None = None) -> dict:
     open_loop_arrivals = args.open_loop_arrivals or None
     degraded_jobs = args.degraded_jobs or None
     backend_fidelity_jobs = args.backend_fidelity_jobs or None
+    fluid_job_counts = (
+        tuple(int(n) for n in args.fluid_jobs.split(","))
+        if args.fluid_jobs
+        else None
+    )
     if args.quick:
         job_counts = tuple(n for n in job_counts if n <= 16) or (8, 16)
         if open_loop_arrivals is not None:
@@ -491,6 +612,8 @@ def main(argv: list[str] | None = None) -> dict:
             degraded_jobs = min(degraded_jobs, 8)
         if backend_fidelity_jobs is not None:
             backend_fidelity_jobs = min(backend_fidelity_jobs, 4)
+        if fluid_job_counts:
+            fluid_job_counts = fluid_job_counts[:1]
     document = run_matrix(
         job_counts,
         policies,
@@ -500,6 +623,7 @@ def main(argv: list[str] | None = None) -> dict:
         open_loop_arrivals=open_loop_arrivals,
         degraded_jobs=degraded_jobs,
         backend_fidelity_jobs=backend_fidelity_jobs,
+        fluid_job_counts=fluid_job_counts,
     )
     if args.json:
         Path(args.json).write_text(json.dumps(document, indent=2) + "\n")

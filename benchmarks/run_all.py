@@ -46,6 +46,11 @@ def main(argv: list[str] | None = None) -> None:
     open_loop_arrivals = (
         2000 if args.quick else bench_scaling.DEFAULT_OPEN_LOOP_ARRIVALS
     )
+    fluid_job_counts = (
+        bench_scaling.DEFAULT_FLUID_JOB_COUNTS[:1]
+        if args.quick
+        else bench_scaling.DEFAULT_FLUID_JOB_COUNTS
+    )
     document = bench_scaling.run_matrix(
         job_counts,
         bench_scaling.DEFAULT_POLICIES,
@@ -53,6 +58,7 @@ def main(argv: list[str] | None = None) -> None:
         open_loop_arrivals=open_loop_arrivals,
         degraded_jobs=8 if args.quick else 16,
         backend_fidelity_jobs=4 if args.quick else 8,
+        fluid_job_counts=fluid_job_counts,
     )
     if args.json:
         out_dir = Path(args.out)

@@ -318,6 +318,14 @@ def _run_cluster(
         "preemption_count": report.preemption_count,
         "comm_active_seconds": report.comm_active_seconds,
         "peak_live_jobs": report.peak_live_jobs,
+        # Machine-independent engine counters: identical inputs must
+        # reproduce these exactly, so the perf-regression gate diffs them.
+        "engine": {
+            "events": sim.engine.events_processed,
+            "peak_pending_events": sim.engine.peak_pending,
+            "cancelled_events": sim.engine.cancelled_events,
+            "compactions": sim.engine.compactions,
+        },
         "stopped_at": report.stopped_at,
         "arrival_rate": calibrated_rate
         if calibrated_rate is not None

@@ -979,7 +979,7 @@ class ClusterScenario(ScenarioSpec):
         if not impl.supports_cluster:
             raise SpecError(
                 f"the {impl.key!r} backend cannot run a shared multi-job "
-                "cluster; use 'analytical' or 'packet'"
+                "cluster; use 'analytical', 'fluid', or 'packet'"
             )
         if self.fairness is not None:
             validate_key("fairness", self.fairness)

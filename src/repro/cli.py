@@ -505,6 +505,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         "12": lambda: experiments.run_fig12(quick=args.quick),
         "headline": lambda: experiments.run_headline(quick=args.quick),
         "fidelity": lambda: experiments.run_fidelity(quick=args.quick),
+        "fluid-scale": lambda: experiments.run_fluid_scale(quick=args.quick),
     }
     runner = runners.get(args.figure)
     if runner is None:
@@ -725,8 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("figure",
-                     help="4, 5, 8, 9, 10, 11, 12, 'headline', or "
-                          "'fidelity' (cross-backend check)")
+                     help="4, 5, 8, 9, 10, 11, 12, 'headline', "
+                          "'fidelity' (cross-backend check), or "
+                          "'fluid-scale' (fast-path capacity study)")
     fig.add_argument("--full", dest="quick", action="store_false",
                      help="run the full (slow) sweep instead of quick mode")
 

@@ -504,7 +504,7 @@ class ClusterSimulator:
         if not backend_impl.supports_cluster:
             raise ConfigError(
                 f"the {self.backend_name!r} backend cannot run a shared "
-                "multi-job cluster; use 'analytical' or 'packet'"
+                "multi-job cluster; use 'analytical', 'fluid', or 'packet'"
             )
         if (
             self.fairness is not None

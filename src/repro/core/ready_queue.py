@@ -84,6 +84,15 @@ class ReadyQueue(abc.ABC):
         """An enforced order advanced: unpark its new head if waiting."""
         return False
 
+    def set_owner_active(self, owner: str, active: bool) -> None:
+        """Track whether ``owner`` has a flow in flight (weighted sharing).
+
+        The shared-wire channel mirrors its in-flight flow set here so the
+        queue can answer ``select(exclude_owners=<in-flight set>)`` without
+        scanning every owner (see :class:`IndexedReadyQueue`'s heads heap).
+        The default is a no-op: the flat reference queue scans anyway.
+        """
+
     @abc.abstractmethod
     def __len__(self) -> int:
         """Live ops held (eligible + order-blocked)."""
@@ -152,6 +161,20 @@ class IndexedReadyQueue(ReadyQueue):
         self._parked: dict[OpKey, "OpState"] = {}
         self._live = 0
         self._priority_counts: dict[int, int] = {}
+        # --- heap-of-heads (weighted-share admission) ----------------------
+        # ``select(exclude_owners=...)`` answers "best op among tenants with
+        # no flow in flight".  The owner scan is O(T) per admission; at
+        # thousands of tenants that dominates cluster runs.  When the channel
+        # mirrors its in-flight set via :meth:`set_owner_active`, every
+        # *inactive* owner's bucket head also lives in one shared lazy heap,
+        # making admission O(log T).  Entries go stale when their op is
+        # taken or their owner activates; stale tops are popped at peek
+        # (an inactive owner's current head is always re-pushed on discard/
+        # deactivate, so popping loses nothing).  The set is membership-only
+        # — never iterated — so determinism is unaffected.
+        self._active_owners: set[str] = set()
+        self._heads: list[tuple[tuple, "OpState"]] = []
+        self._track_heads = False
 
     # --- mutation -----------------------------------------------------------
     def push(self, op: "OpState", eligible: bool) -> None:
@@ -168,6 +191,8 @@ class IndexedReadyQueue(ReadyQueue):
         if owner_heap is None:
             owner_heap = self._owner_heaps[op.owner] = _LazyHeap()
         owner_heap.push(key, op)
+        if self._track_heads and op.owner not in self._active_owners:
+            heapq.heappush(self._heads, (key, op))
         self._live += 1
         counts = self._priority_counts
         counts[op.priority] = counts.get(op.priority, 0) + 1
@@ -196,6 +221,57 @@ class IndexedReadyQueue(ReadyQueue):
         owner_heap = self._owner_heaps.get(op.owner)
         if owner_heap is not None:
             owner_heap.note_dead()
+        if self._track_heads and op.owner not in self._active_owners:
+            # The taken op may have been its owner's head: keep the owner's
+            # *current* head present in the heads heap.
+            head = self._peek_owner(op.owner)
+            if head is not None:
+                heapq.heappush(self._heads, (self._key(head), head))
+
+    def set_owner_active(self, owner: str, active: bool) -> None:
+        if not self._track_heads:
+            # First activation turns tracking on: seed the heads heap with
+            # every owner's current head (ops admitted before any flow
+            # started predate tracking).
+            self._track_heads = True
+            for existing in list(self._owner_heaps):
+                head = self._peek_owner(existing)
+                if head is not None:
+                    heapq.heappush(self._heads, (self._key(head), head))
+        if active:
+            self._active_owners.add(owner)
+            return
+        self._active_owners.discard(owner)
+        head = self._peek_owner(owner)
+        if head is not None:
+            heapq.heappush(self._heads, (self._key(head), head))
+
+    def _peek_heads(self) -> "OpState | None":
+        """Best op among inactive owners, popping stale entries.
+
+        An entry is stale when its op was taken or its owner currently has
+        a flow in flight; both are safe to pop outright, because an
+        inactive owner's current head is re-pushed on every discard and on
+        every deactivation.
+        """
+        heads = self._heads
+        active = self._active_owners
+        if len(heads) >= 64 and len(heads) > 2 * self._live:
+            # Stale entries can die buried (ops taken through the global
+            # heap, owners toggling active); rebuild once they dominate.
+            heads = [
+                entry
+                for entry in heads
+                if entry[1].queued and entry[1].owner not in active
+            ]
+            heapq.heapify(heads)
+            self._heads = heads
+        while heads:
+            op = heads[0][1]
+            if op.queued and op.owner not in active:
+                return op
+            heapq.heappop(heads)
+        return None
 
     # --- selection ----------------------------------------------------------
     def select(
@@ -206,6 +282,21 @@ class IndexedReadyQueue(ReadyQueue):
         if owner is not None:
             return self._peek_owner(owner)
         if exclude_owners is not None:
+            # O(log T) fast path: when the exclusion set is the channel's
+            # mirrored in-flight set (same size; the channel updates both in
+            # lockstep), the answer is the top of the heads heap.  The
+            # candidate is re-checked against ``exclude_owners`` itself, so
+            # a mirror mismatch degrades to the scan instead of misselecting.
+            if self._track_heads:
+                size = (
+                    len(exclude_owners)  # type: ignore[arg-type]
+                    if hasattr(exclude_owners, "__len__")
+                    else None
+                )
+                if size is not None and size == len(self._active_owners):
+                    candidate = self._peek_heads()
+                    if candidate is None or candidate.owner not in exclude_owners:
+                        return candidate
             best: "OpState | None" = None
             best_key: tuple | None = None
             for candidate_owner in list(self._owner_heaps):

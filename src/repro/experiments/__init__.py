@@ -23,6 +23,12 @@ from .fidelity import (
     run_fidelity,
 )
 from .fig4 import Fig4Result, run_fig4
+from .fluid_scale import (
+    FLUID_SCALE_JOBS,
+    FluidScaleResult,
+    fluid_scale_spec,
+    run_fluid_scale,
+)
 from .fig5 import Fig5Result, run_fig5
 from .fig8 import Fig8Result, run_fig8
 from .fig9 import Fig9Result, run_fig9
@@ -76,6 +82,10 @@ __all__ = [
     "run_fidelity",
     "fidelity_sweep",
     "FidelityResult",
+    "run_fluid_scale",
+    "fluid_scale_spec",
+    "FluidScaleResult",
+    "FLUID_SCALE_JOBS",
     "FIDELITY_BACKENDS",
     "FIDELITY_SCHEDULERS",
     "FIDELITY_WORKLOADS",

@@ -304,7 +304,11 @@ class InvariantAuditor:
         self.checks_run += 1
         stats = channel.stats
         pairs = (
-            ("transfer_seconds", stats.transfer_seconds, ledger.completed_transfer_seconds),
+            (
+                "transfer_seconds",
+                stats.transfer_seconds,
+                ledger.completed_transfer_seconds,
+            ),
             ("bytes_sent", stats.bytes_sent, ledger.completed_bytes),
             ("fixed_seconds", stats.fixed_seconds, ledger.completed_fixed_seconds),
         )
@@ -368,6 +372,7 @@ class InvariantAuditor:
         if not flows:
             return
         capacity = channel.capacity_factor
+        top_priority = max(flow.priority for flow in flows.values())
         total_rate = 0.0
         for owner, flow in flows.items():
             if capacity <= 0.0:
@@ -380,13 +385,20 @@ class InvariantAuditor:
                         context={"rate": flow.rate},
                     )
             elif flow.rate <= 0.0:
-                raise InvariantViolation(
-                    "rate-capacity",
-                    f"tenant {owner!r} assigned non-positive rate",
-                    time=channel.engine.now,
-                    dim_index=channel.dim_index,
-                    context={"rate": flow.rate},
-                )
+                # Under strict-priority sharing (the fluid backend's
+                # preemption model) a lower-priority flow legitimately
+                # parks at rate zero; a *top*-priority flow must drain.
+                if not (
+                    channel.priority_sharing
+                    and flow.priority < top_priority
+                ):
+                    raise InvariantViolation(
+                        "rate-capacity",
+                        f"tenant {owner!r} assigned non-positive rate",
+                        time=channel.engine.now,
+                        dim_index=channel.dim_index,
+                        context={"rate": flow.rate},
+                    )
             if flow.remaining < -_RATE_ATOL:
                 raise InvariantViolation(
                     "rate-capacity",

@@ -1,7 +1,7 @@
 """Pluggable network-fidelity backends.
 
 See :mod:`repro.sim.backends.base` for the interface and
-``docs/backends.md`` for the fidelity/speed tradeoff.  The three
+``docs/backends.md`` for the fidelity/speed tradeoff.  The four
 built-ins register at import time; plugins add their own via
 ``register_backend`` (or ``repro.api.register("backend", ...)``).
 """
@@ -17,6 +17,7 @@ from .base import (
     register_backend,
     resolve_backend_key,
 )
+from .fluid import FluidBackend, FluidNetwork, FluidOptions
 from .ideal import IdealBackend
 from .packet import (
     ROUTING_MODES,
@@ -29,6 +30,7 @@ from .packet import (
 )
 
 register_backend(AnalyticalBackend.key, AnalyticalBackend())
+register_backend(FluidBackend.key, FluidBackend())
 register_backend(IdealBackend.key, IdealBackend())
 register_backend(PacketBackend.key, PacketBackend())
 
@@ -36,6 +38,9 @@ __all__ = [
     "DEFAULT_BACKEND",
     "ROUTING_MODES",
     "AnalyticalBackend",
+    "FluidBackend",
+    "FluidNetwork",
+    "FluidOptions",
     "IdealBackend",
     "NetworkBackend",
     "PacketBackend",

@@ -228,6 +228,7 @@ class _FlowState:
         "batch",
         "owner",
         "fixed",
+        "priority",
         "remaining",
         "rate",
         "last_update",
@@ -235,10 +236,13 @@ class _FlowState:
         "finish_handle",
     )
 
-    def __init__(self, batch: list[OpState], owner: str, fixed: float, transfer: float) -> None:
+    def __init__(
+        self, batch: list[OpState], owner: str, fixed: float, transfer: float
+    ) -> None:
         self.batch = batch
         self.owner = owner
         self.fixed = fixed
+        self.priority = max(op.priority for op in batch)
         self.remaining = transfer
         self.rate = 0.0
         self.last_update = 0.0
@@ -304,6 +308,15 @@ class DimensionChannel:
         self.default_weight = 1.0
         self.preemption_enabled = False
         self.preemption_count = 0
+        #: Strict-priority variant of the shared wire (fluid backend's
+        #: preemption model): only the highest-priority in-flight flows get
+        #: rate; lower-priority flows park at rate zero with progress banked.
+        self.priority_sharing = False
+        #: Optional cross-channel coalescer (:class:`FlowCoalescer`): when
+        #: set, same-instant ``_reschedule_flows`` calls collapse into one
+        #: recomputation per channel per instant.
+        self.flow_coalescer: "FlowCoalescer | None" = None
+        self._coalesce_marked = False
         self._flows: dict[str, _FlowState] = {}
         self._running: _RunningBatch | None = None
         self._paused: list[_RunningBatch] = []
@@ -350,6 +363,21 @@ class DimensionChannel:
         """Let strictly higher-priority arrivals pause the running batch."""
         self.preemption_enabled = True
 
+    def enable_priority_sharing(self) -> None:
+        """Strict-priority rates on the shared wire (fluid preemption).
+
+        Only in-flight flows at the current maximum priority split the
+        wire; lower-priority flows are parked at rate zero with their
+        progress banked — the fluid-model analogue of serial preemption,
+        with each running→parked transition counted as a preemption.
+        """
+        if self.share_weights is None:
+            raise ConfigError(
+                f"dim{self.dim_index}: priority sharing requires the shared "
+                "wire; call set_share_weights first"
+            )
+        self.priority_sharing = True
+
     # --- fault injection ---------------------------------------------------
     def set_capacity_factor(self, factor: float) -> None:
         """Change the wire's live capacity mid-run (fault inject/restore).
@@ -382,7 +410,9 @@ class DimensionChannel:
             return
         if self.share_weights is not None:
             self.capacity_factor = factor
-            self._reschedule_flows()
+            # Fault transitions are precision points (the fluid backend's
+            # hybrid contract): recompute immediately, never coalesced.
+            self._reschedule_flows(immediate=True)
             if self.auditor is not None:
                 self.auditor.on_capacity_change(self, old, factor)
             self.try_start()
@@ -749,10 +779,11 @@ class DimensionChannel:
         flow = _FlowState(batch, batch[0].owner, fixed, transfer)
         flow.last_update = now
         self._flows[flow.owner] = flow
+        self.queue.set_owner_active(flow.owner, True)
         self._update_activity()
         self._reschedule_flows()
 
-    def _reschedule_flows(self) -> None:
+    def _reschedule_flows(self, immediate: bool = False) -> None:
         """Re-split the wire among active flows and re-arm their finishes.
 
         Called whenever the active set or the weights change.  Each flow's
@@ -761,28 +792,63 @@ class DimensionChannel:
         superseded finish event is cancelled so reweight storms cannot grow
         the heap (the generation counter remains as a guard for the legacy
         no-cancellation engine mode).
+
+        With a :class:`FlowCoalescer` attached, non-``immediate`` calls are
+        deferred to one same-instant flush per channel: no simulated time
+        passes between the request and the flush, so banking is unaffected
+        and a burst of arrivals/finishes at one instant costs one
+        recomputation instead of one per trigger.
         """
         if not self._flows:
             return
+        if (
+            not immediate
+            and self.flow_coalescer is not None
+            and self.flow_coalescer.defer(self)
+        ):
+            return
         now = self.engine.now
-        total = sum(self._weight(owner) for owner in self._flows)
+        active = self._flows
+        parked_priority: int | None = None
+        if self.priority_sharing:
+            top = max(flow.priority for flow in self._flows.values())
+            active = {
+                owner: flow
+                for owner, flow in self._flows.items()
+                if flow.priority == top
+            }
+            if len(active) < len(self._flows):
+                parked_priority = top
+        total = sum(self._weight(owner) for owner in active)
         for flow in self._flows.values():
             if now > flow.last_update and flow.rate > 0:
                 flow.remaining = max(
                     0.0, flow.remaining - flow.rate * (now - flow.last_update)
                 )
             flow.last_update = now
-            # A degraded wire splits its *live* capacity by weight; at
-            # nominal capacity the multiplication by 1.0 is lossless, so
-            # fault-free timelines are bit-identical to the pre-fault code.
-            flow.rate = self.capacity_factor * self._weight(flow.owner) / total
+            if parked_priority is not None and flow.priority < parked_priority:
+                # Strict-priority sharing: a lower-priority flow parks at
+                # rate zero with its progress banked; every running→parked
+                # transition is one preemption.
+                if flow.rate > 0.0 and self.capacity_factor > 0.0:
+                    self.preemption_count += 1
+                flow.rate = 0.0
+            else:
+                # A degraded wire splits its *live* capacity by weight; at
+                # nominal capacity the multiplication by 1.0 is lossless, so
+                # fault-free timelines are bit-identical to the pre-fault
+                # code.
+                flow.rate = (
+                    self.capacity_factor * self._weight(flow.owner) / total
+                )
             flow.generation += 1
             generation = flow.generation
             self.engine.cancel(flow.finish_handle)
             if flow.rate <= 0.0:
-                # Failed link: the flow parks with its progress banked.  No
-                # finish event is armed (there is no finite finish time);
-                # restoring capacity reschedules every parked flow here.
+                # Failed link (or priority-parked flow): parks with its
+                # progress banked.  No finish event is armed (there is no
+                # finite finish time); a capacity restore or a priority
+                # departure reschedules every parked flow here.
                 flow.finish_handle = None
                 continue
             finish = now + flow.remaining / flow.rate
@@ -800,6 +866,7 @@ class DimensionChannel:
             return  # superseded by a reschedule
         flow.remaining = 0.0
         del self._flows[flow.owner]
+        self.queue.set_owner_active(flow.owner, False)
         now = self.engine.now
         end = now + flow.fixed
         for op in flow.batch:
@@ -816,3 +883,52 @@ class DimensionChannel:
         self.on_batch_done(self, flow.batch)
         self._update_activity()
         self.try_start()
+
+
+class FlowCoalescer:
+    """Cross-channel coalescing of simultaneous rate-change events.
+
+    A burst of flow arrivals/finishes at one simulated instant — a
+    collective fanning out over every dimension, a weight retune touching
+    all channels, a finish cascading into the next stage — triggers one
+    ``_reschedule_flows`` per cause per channel, and each recomputation
+    cancels and re-arms every in-flight finish event.  The coalescer defers
+    those recomputations to a single *flush* event scheduled at the same
+    instant: the event engine fires same-time events in scheduling order,
+    so the flush runs after every same-instant cause, recomputing each
+    dirty channel exactly once.
+
+    Zero simulated time passes between a deferred request and its flush, so
+    progress banking (which integrates over elapsed time) is unaffected —
+    timelines are identical, only the event count drops.  Channels are
+    flushed in the order they were first marked (deterministic; no set
+    iteration).  Precision points (fault transitions) bypass the coalescer
+    via ``_reschedule_flows(immediate=True)``.
+    """
+
+    __slots__ = ("engine", "_marked", "flushes", "deferrals")
+
+    def __init__(self, engine: EventQueue) -> None:
+        self.engine = engine
+        self._marked: list[DimensionChannel] = []
+        #: Diagnostics: flush events fired / reschedules absorbed.
+        self.flushes = 0
+        self.deferrals = 0
+
+    def defer(self, channel: DimensionChannel) -> bool:
+        """Mark ``channel`` dirty; returns True (the call is absorbed)."""
+        self.deferrals += 1
+        if channel._coalesce_marked:
+            return True
+        if not self._marked:
+            self.engine.schedule(self.engine.now, self._flush)
+        channel._coalesce_marked = True
+        self._marked.append(channel)
+        return True
+
+    def _flush(self) -> None:
+        marked, self._marked = self._marked, []
+        self.flushes += 1
+        for channel in marked:
+            channel._coalesce_marked = False
+            channel._reschedule_flows(immediate=True)

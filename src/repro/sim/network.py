@@ -234,7 +234,9 @@ class NetworkSimulator:
     ) -> None:
         self.topology = topology
         self.scheduler_factory = scheduler or SchedulerFactory("themis")
-        self.policy = policy if isinstance(policy, IntraDimPolicy) else get_policy(policy)
+        self.policy = (
+            policy if isinstance(policy, IntraDimPolicy) else get_policy(policy)
+        )
         self.fusion = fusion or FusionConfig()
         self.engine = engine or EventQueue(cancellation=indexed_queues)
         self.enforce_consistency = enforce_consistency
@@ -510,6 +512,35 @@ class NetworkSimulator:
                 self._plan_cache[plan_key] = plan
         result.plan = plan
 
+        chunk_ops = self._build_chunk_ops(request, plan, subtopo, model)
+
+        state = _CollectiveState(result, chunk_ops, on_complete)
+        self._states[request.request_id] = state
+        self._mark_comm_active(request.owner)
+
+        if self.enforce_consistency:
+            self._install_enforced_orders(state, plan_key)
+
+        for ops in chunk_ops:
+            self.channels[ops[0].parent_dim].enqueue(ops[0])
+
+    def _build_chunk_ops(
+        self,
+        request: CollectiveRequest,
+        plan: CollectivePlan,
+        subtopo: Topology,
+        model: LatencyModel,
+    ) -> list[list[OpState]]:
+        """Materialize the plan's chunk stages as executable channel ops.
+
+        The execution-granularity hook: the exact simulator emits one op
+        per (chunk, stage) so every pipelining and contention boundary is
+        an event; the fluid backend overrides this to collapse the chunk
+        train into aggregate per-dimension flows.  Op lists are indexed by
+        ``chunk_id`` (``_on_batch_done`` advances ``chunk_ops[op.chunk_id]``
+        to the next stage), so overrides must keep ``chunk_id`` equal to
+        the op list's position.
+        """
         chunk_ops: list[list[OpState]] = []
         for chunk in plan.chunks:
             ops = []
@@ -534,16 +565,7 @@ class NetworkSimulator:
                     )
                 )
             chunk_ops.append(ops)
-
-        state = _CollectiveState(result, chunk_ops, on_complete)
-        self._states[request.request_id] = state
-        self._mark_comm_active(request.owner)
-
-        if self.enforce_consistency:
-            self._install_enforced_orders(state, plan_key)
-
-        for ops in chunk_ops:
-            self.channels[ops[0].parent_dim].enqueue(ops[0])
+        return chunk_ops
 
     def _install_enforced_orders(
         self, state: _CollectiveState, plan_key: tuple | None
@@ -567,7 +589,10 @@ class NetworkSimulator:
                 fusion=self.fusion,
             )
             generic = {
-                dim_index: [(chunk_id, stage_index) for _, chunk_id, stage_index in keys]
+                dim_index: [
+                    (chunk_id, stage_index)
+                    for _, chunk_id, stage_index in keys
+                ]
                 for dim_index, keys in orders.items()
             }
             if plan_key is not None:
@@ -576,7 +601,10 @@ class NetworkSimulator:
         for dim_index, pairs in generic.items():
             self.channels[dim_index].set_enforced_order(
                 request_id,
-                [(request_id, chunk_id, stage_index) for chunk_id, stage_index in pairs],
+                [
+                    (request_id, chunk_id, stage_index)
+                    for chunk_id, stage_index in pairs
+                ],
             )
 
     # --- progression ----------------------------------------------------------

@@ -339,7 +339,7 @@ class TestChannelInvariants:
         sim = _finished_sim()
         channel = sim.channels[0]
         fake = {
-            owner: SimpleNamespace(rate=rate, remaining=remaining)
+            owner: SimpleNamespace(rate=rate, remaining=remaining, priority=0)
             for owner, (rate, remaining) in flows.items()
         }
         with pytest.raises(InvariantViolation) as excinfo:

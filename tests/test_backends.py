@@ -83,7 +83,9 @@ def single_dim(kind, size=8, gbps=200.0, links=2, latency_ns=700):
 
 class TestBackendRegistry:
     def test_builtin_names(self):
-        assert tuple(backend_names()) == ("analytical", "ideal", "packet")
+        assert tuple(backend_names()) == (
+            "analytical", "fluid", "ideal", "packet",
+        )
 
     def test_default_is_analytical(self):
         assert DEFAULT_BACKEND == "analytical"
@@ -92,7 +94,7 @@ class TestBackendRegistry:
         assert get_backend("Packet") is get_backend("packet")
 
     def test_unknown_names_known(self):
-        with pytest.raises(ConfigError, match="analytical.*ideal.*packet"):
+        with pytest.raises(ConfigError, match="analytical.*fluid.*ideal.*packet"):
             get_backend("quantum")
 
     def test_duplicate_registration_rejected(self):
@@ -102,7 +104,7 @@ class TestBackendRegistry:
     def test_registered_in_api_registry(self):
         assert "backend" in api.registry_kinds()
         assert api.registry_keys("backend") == (
-            "analytical", "ideal", "packet",
+            "analytical", "fluid", "ideal", "packet",
         )
 
     def test_api_validate_key_did_you_mean(self):
@@ -521,7 +523,9 @@ class TestRegistryCommand:
     def test_json_output(self, capsys):
         assert main(["registry", "--kind", "backend", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert data == {"backend": ["analytical", "ideal", "packet"]}
+        assert data == {
+            "backend": ["analytical", "fluid", "ideal", "packet"],
+        }
 
     def test_unknown_kind_rejected(self, capsys):
         assert main(["registry", "--kind", "nope"]) == 2
