@@ -202,7 +202,10 @@ class SweepResult:
         for point in self.points:
             row = [str(point.overrides.get(f)) for f in axis_fields]
             report = point.report
-            row.append(fmt_time(report.makespan) + (" (trunc)" if report.truncated else ""))
+            row.append(
+                fmt_time(report.makespan)
+                + (" (trunc)" if report.truncated else "")
+            )
             row.append(
                 f"{report.avg_utilization:.1%}"
                 if report.avg_utilization is not None

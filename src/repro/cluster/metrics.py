@@ -463,7 +463,9 @@ class ClusterReport:
                     job.placement_label,
                     job.arrival_time,
                     job.jct if job.jct is not None else float("nan"),
-                    job.isolated_time if job.isolated_time is not None else float("nan"),
+                    job.isolated_time
+                    if job.isolated_time is not None
+                    else float("nan"),
                     job.slowdown if job.slowdown is not None else float("nan"),
                 )
             )

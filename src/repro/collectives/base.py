@@ -58,7 +58,9 @@ class CollectiveAlgorithm(abc.ABC):
         """The fixed delay ``A_K = steps x step_latency`` (seconds)."""
         return self.steps(op, dim.size) * dim.step_latency
 
-    def transfer_time(self, op: PhaseOp, stage_size: float, dim: DimensionSpec) -> float:
+    def transfer_time(
+        self, op: PhaseOp, stage_size: float, dim: DimensionSpec
+    ) -> float:
         """The bandwidth term ``n_K x B_K`` (seconds).
 
         When the dimension's packet model is enabled, per-packet header

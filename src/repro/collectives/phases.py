@@ -112,7 +112,9 @@ def phase_ops(ctype: CollectiveType, ndims: int) -> list[PhaseOp]:
     raise CollectiveError(f"unsupported collective type {ctype!r}")
 
 
-def invariant_bytes_per_npu(ctype: CollectiveType, size: float, topology: Topology) -> float:
+def invariant_bytes_per_npu(
+    ctype: CollectiveType, size: float, topology: Topology
+) -> float:
     """Schedule-invariant total bytes each NPU sends for the collective.
 
     This is the quantity the paper's Ideal method divides by the total BW

@@ -69,7 +69,9 @@ class ClusterContentionResult:
                     report.makespan,
                     report.mean_jct,
                     report.max_jct,
-                    report.mean_slowdown if report.mean_slowdown is not None else float("nan"),
+                    report.mean_slowdown
+                    if report.mean_slowdown is not None
+                    else float("nan"),
                     report.utilization.average if report.utilization else float("nan"),
                 )
             )

@@ -89,7 +89,9 @@ class Fig8Result:
         return "Fig. 8: All-Reduce communication time\n" + table + summary
 
 
-def fig8_sweep(quick: bool = False, chunks: int = 64) -> "tuple[api.CollectiveScenario, dict]":
+def fig8_sweep(
+    quick: bool = False, chunks: int = 64
+) -> "tuple[api.CollectiveScenario, dict]":
     """The declarative form of Fig. 8: one base spec plus its sweep axes."""
     sizes = list(QUICK_SIZES if quick else DEFAULT_SIZES)
     base = api.CollectiveScenario(chunks=chunks)

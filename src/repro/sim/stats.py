@@ -36,7 +36,9 @@ class UtilizationReport:
         return f"avg={self.average * 100:.2f}% [{', '.join(parts)}]"
 
 
-def bw_utilization(result: ExecutionResult, window: float | None = None) -> UtilizationReport:
+def bw_utilization(
+    result: ExecutionResult, window: float | None = None
+) -> UtilizationReport:
     """Compute the paper's average BW utilization for a finished simulation.
 
     ``window`` defaults to the communication-active time (union of intervals

@@ -195,7 +195,9 @@ def dimension(
     name: str = "",
 ) -> DimensionSpec:
     """Convenience constructor using the paper's units (Gb/s and ns)."""
-    resolved = kind if isinstance(kind, DimensionKind) else DimensionKind.from_name(kind)
+    resolved = (
+        kind if isinstance(kind, DimensionKind) else DimensionKind.from_name(kind)
+    )
     return DimensionSpec(
         kind=resolved,
         size=size,

@@ -22,7 +22,9 @@ def current_2d() -> Topology:
     """Today's 2D platform: 16 NPUs/node at 1200 Gb/s, 64 nodes at 100 Gb/s."""
     return Topology(
         [
-            dimension("SW", 16, 200.0, links_per_npu=6, latency_ns=700, name="intra-node"),
+            dimension(
+                "SW", 16, 200.0, links_per_npu=6, latency_ns=700, name="intra-node"
+            ),
             dimension("SW", 64, 100.0, links_per_npu=1, latency_ns=1700, name="NIC"),
         ],
         name="current-2D",
@@ -33,7 +35,9 @@ def topo_2d_sw_sw() -> Topology:
     """2D-SW_SW: 16x64, aggregate BW (1200, 800) Gb/s."""
     return Topology(
         [
-            dimension("SW", 16, 200.0, links_per_npu=6, latency_ns=700, name="intra-node"),
+            dimension(
+                "SW", 16, 200.0, links_per_npu=6, latency_ns=700, name="intra-node"
+            ),
             dimension("SW", 64, 800.0, links_per_npu=1, latency_ns=1700, name="NIC"),
         ],
         name="2D-SW_SW",
@@ -44,7 +48,9 @@ def topo_3d_sw_sw_sw_homo() -> Topology:
     """3D-SW_SW_SW_homo: 16x8x8, aggregate BW (800, 800, 800) Gb/s."""
     return Topology(
         [
-            dimension("SW", 16, 200.0, links_per_npu=4, latency_ns=700, name="intra-node"),
+            dimension(
+                "SW", 16, 200.0, links_per_npu=4, latency_ns=700, name="intra-node"
+            ),
             dimension("SW", 8, 200.0, links_per_npu=4, latency_ns=700, name="pod"),
             dimension("SW", 8, 800.0, links_per_npu=1, latency_ns=1700, name="NIC"),
         ],
@@ -56,7 +62,9 @@ def topo_3d_sw_sw_sw_hetero() -> Topology:
     """3D-SW_SW_SW_hetero: 16x8x8, aggregate BW (1600, 800, 400) Gb/s."""
     return Topology(
         [
-            dimension("SW", 16, 200.0, links_per_npu=8, latency_ns=700, name="intra-node"),
+            dimension(
+                "SW", 16, 200.0, links_per_npu=8, latency_ns=700, name="intra-node"
+            ),
             dimension("SW", 8, 200.0, links_per_npu=4, latency_ns=700, name="pod"),
             dimension("SW", 8, 400.0, links_per_npu=1, latency_ns=1700, name="NIC"),
         ],
@@ -68,7 +76,9 @@ def topo_3d_fc_ring_sw() -> Topology:
     """3D-FC_Ring_SW: 8x16x8, aggregate BW (1400, 800, 400) Gb/s."""
     return Topology(
         [
-            dimension("FC", 8, 200.0, links_per_npu=7, latency_ns=700, name="intra-node"),
+            dimension(
+                "FC", 8, 200.0, links_per_npu=7, latency_ns=700, name="intra-node"
+            ),
             dimension("Ring", 16, 200.0, links_per_npu=4, latency_ns=700, name="pod"),
             dimension("SW", 8, 400.0, links_per_npu=1, latency_ns=1700, name="NIC"),
         ],
@@ -80,8 +90,12 @@ def topo_4d_ring_sw_sw_sw() -> Topology:
     """4D-Ring_SW_SW_SW: 4x4x8x8, aggregate BW (2000, 1600, 800, 400) Gb/s."""
     return Topology(
         [
-            dimension("Ring", 4, 1000.0, links_per_npu=2, latency_ns=20, name="package"),
-            dimension("SW", 4, 200.0, links_per_npu=8, latency_ns=700, name="intra-node"),
+            dimension(
+                "Ring", 4, 1000.0, links_per_npu=2, latency_ns=20, name="package"
+            ),
+            dimension(
+                "SW", 4, 200.0, links_per_npu=8, latency_ns=700, name="intra-node"
+            ),
             dimension("SW", 8, 200.0, links_per_npu=4, latency_ns=700, name="pod"),
             dimension("SW", 8, 400.0, links_per_npu=1, latency_ns=1700, name="NIC"),
         ],
@@ -93,8 +107,12 @@ def topo_4d_ring_fc_ring_sw() -> Topology:
     """4D-Ring_FC_Ring_SW: 4x8x4x8, aggregate BW (3000, 1400, 1200, 800) Gb/s."""
     return Topology(
         [
-            dimension("Ring", 4, 1500.0, links_per_npu=2, latency_ns=20, name="package"),
-            dimension("FC", 8, 200.0, links_per_npu=7, latency_ns=700, name="intra-node"),
+            dimension(
+                "Ring", 4, 1500.0, links_per_npu=2, latency_ns=20, name="package"
+            ),
+            dimension(
+                "FC", 8, 200.0, links_per_npu=7, latency_ns=700, name="intra-node"
+            ),
             dimension("Ring", 4, 200.0, links_per_npu=6, latency_ns=700, name="pod"),
             dimension("SW", 8, 800.0, links_per_npu=1, latency_ns=1700, name="NIC"),
         ],

@@ -108,7 +108,9 @@ class Topology:
         sub = Topology(dims, name=name or f"{self.name}[{list(dim_indices)}]")
         # Constructor-style init of a brand-new frozen instance, never mutation
         # of one that escaped this method.
-        object.__setattr__(sub, "_parent_indices", tuple(dim_indices))  # replint: ignore[RPL006]
+        object.__setattr__(  # replint: ignore[RPL006]
+            sub, "_parent_indices", tuple(dim_indices)
+        )
         return sub
 
     def communicator(
@@ -143,7 +145,9 @@ class Topology:
 
             dims.append(replace(dim, size=count))
         comm = Topology(dims, name=name or f"{self.name}:comm{tuple(dim_indices)}")
-        object.__setattr__(comm, "_parent_indices", tuple(dim_indices))  # replint: ignore[RPL006]
+        object.__setattr__(  # replint: ignore[RPL006]
+            comm, "_parent_indices", tuple(dim_indices)
+        )
         return comm
 
     def parent_index(self, local_index: int) -> int:

@@ -6,7 +6,13 @@ from .base import Workload
 from .compute import A100_MEMORY_BW, A100_PEAK_FLOPS, ComputeModel
 from .dlrm import dlrm
 from .gnmt import gnmt
-from .layers import GRADIENT_BYTES, CommAttachment, Layer, total_flops, total_param_bytes
+from .layers import (
+    GRADIENT_BYTES,
+    CommAttachment,
+    Layer,
+    total_flops,
+    total_param_bytes,
+)
 from .parallelism import (
     CommScope,
     ParallelismPlan,

@@ -49,7 +49,10 @@ def _mlp_layers(
                 fwd_mem_bytes=params * GRADIENT_BYTES
                 + batch * (fan_in + fan_out) * GRADIENT_BYTES,
                 bwd_mem_bytes=2.0
-                * (params * GRADIENT_BYTES + batch * (fan_in + fan_out) * GRADIENT_BYTES),
+                * (
+                    params * GRADIENT_BYTES
+                    + batch * (fan_in + fan_out) * GRADIENT_BYTES
+                ),
                 fwd_comm=fwd_comm.get(index),
                 fwd_wait_label=fwd_wait.get(index, ""),
             )

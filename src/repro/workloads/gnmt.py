@@ -78,7 +78,9 @@ def gnmt(
     )
     for index in range(2, encoder_layers + 1):
         input_size = 2 * hidden if index == 2 else hidden
-        layers.append(_lstm_layer(f"enc_lstm{index}", input_size, hidden, batch, seq_len))
+        layers.append(
+            _lstm_layer(f"enc_lstm{index}", input_size, hidden, batch, seq_len)
+        )
 
     # Target embedding.
     layers.append(
@@ -107,7 +109,9 @@ def gnmt(
     # Decoder: first layer consumes embedding + attention context.
     for index in range(1, decoder_layers + 1):
         input_size = 2 * hidden if index == 1 else hidden
-        layers.append(_lstm_layer(f"dec_lstm{index}", input_size, hidden, batch, seq_len))
+        layers.append(
+            _lstm_layer(f"dec_lstm{index}", input_size, hidden, batch, seq_len)
+        )
 
     # Output projection / softmax classifier.
     proj_params = hidden * vocab + vocab

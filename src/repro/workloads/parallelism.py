@@ -78,7 +78,9 @@ def data_parallel_plan() -> ParallelismPlan:
     )
 
 
-def split_leading_dims(topology: Topology, group_size: int) -> tuple[CommScope, CommScope]:
+def split_leading_dims(
+    topology: Topology, group_size: int
+) -> tuple[CommScope, CommScope]:
     """Split the platform into (MP scope, DP scope) at ``group_size`` NPUs.
 
     The MP group packs the first dimensions; if the boundary falls inside a

@@ -49,7 +49,9 @@ def _conv(cin: int, cout: int, kernel: int, h_out: int, w_out: int) -> _ConvCost
     return _ConvCost(params=params, mac_flops=2.0 * macs, act_bytes=act)
 
 
-def _bottleneck(cin: int, mid: int, cout: int, stride: int, spatial_in: int) -> _ConvCost:
+def _bottleneck(
+    cin: int, mid: int, cout: int, stride: int, spatial_in: int
+) -> _ConvCost:
     """One bottleneck block: 1x1 -> 3x3(stride) -> 1x1 (+ projection)."""
     spatial_out = spatial_in // stride
     cost = _conv(cin, mid, 1, spatial_in, spatial_in)

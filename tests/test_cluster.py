@@ -31,7 +31,9 @@ def tiny_topology() -> Topology:
     )
 
 
-def tiny_workload(param_mb: float = 16.0, layers: int = 4, name: str = "tiny") -> Workload:
+def tiny_workload(
+    param_mb: float = 16.0, layers: int = 4, name: str = "tiny"
+) -> Workload:
     layer_list = [
         Layer(
             name=f"l{i}",

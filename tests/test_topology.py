@@ -21,7 +21,10 @@ class TestDimensionKind:
     def test_from_name_aliases(self):
         assert DimensionKind.from_name("ring") is DimensionKind.RING
         assert DimensionKind.from_name("FC") is DimensionKind.FULLY_CONNECTED
-        assert DimensionKind.from_name("FullyConnected") is DimensionKind.FULLY_CONNECTED
+        assert (
+            DimensionKind.from_name("FullyConnected")
+            is DimensionKind.FULLY_CONNECTED
+        )
         assert DimensionKind.from_name("direct") is DimensionKind.FULLY_CONNECTED
         assert DimensionKind.from_name("sw") is DimensionKind.SWITCH
         assert DimensionKind.from_name("Switch") is DimensionKind.SWITCH
